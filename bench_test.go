@@ -1,0 +1,181 @@
+package wavnet
+
+import (
+	"fmt"
+	"testing"
+
+	"wavnet/internal/experiments"
+)
+
+// The benchmarks below regenerate every table and figure of the paper's
+// evaluation in quick mode (reduced durations/sizes, same shapes). Run
+// with:
+//
+//	go test -bench=. -benchmem -benchtime=1x
+//
+// Each benchmark reports experiment-specific metrics alongside the
+// usual ns/op (which here is the wall time of a full scenario build,
+// run and measurement).
+
+func runExperiment(b *testing.B, id string, metric func(fmt.Stringer) map[string]float64) {
+	b.Helper()
+	r, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := r.Run(experiments.Options{Seed: int64(i + 1), Quick: true})
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if i == 0 {
+			if metric != nil {
+				for name, v := range metric(res) {
+					b.ReportMetric(v, name)
+				}
+			}
+			b.Logf("\n%s", res.String())
+		}
+	}
+}
+
+func BenchmarkTableI(b *testing.B) { runExperiment(b, "table1", nil) }
+
+func BenchmarkTableII(b *testing.B) {
+	runExperiment(b, "table2", func(s fmt.Stringer) map[string]float64 {
+		r := s.(*experiments.TableIIResult)
+		return map[string]float64{
+			"wavnet-overhead-us": float64(r.Rows[0].WAVNet-r.Rows[0].Physical) / 1e3,
+		}
+	})
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	runExperiment(b, "figure6", func(s fmt.Stringer) map[string]float64 {
+		r := s.(*experiments.Figure6Result)
+		return map[string]float64{
+			"wavnet-rel-bw":    r.Rows[0].WAVNet / r.Rows[0].Physical,
+			"ipop-rel-bw":      r.Rows[0].IPOP / r.Rows[0].Physical,
+			"wavnet-KBps-64MB": r.Rows[0].WAVNet,
+		}
+	})
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	runExperiment(b, "figure7", func(s fmt.Stringer) map[string]float64 {
+		r := s.(*experiments.Figure7Result)
+		last := r.Rows[len(r.Rows)-1]
+		return map[string]float64{
+			"wavnet-rel-at-100M": last.WAVNet / last.Physical,
+			"ipop-rel-at-100M":   last.IPOP / last.Physical,
+		}
+	})
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	runExperiment(b, "figure8", func(s fmt.Stringer) map[string]float64 {
+		r := s.(*experiments.Figure8Result)
+		first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+		return map[string]float64{
+			"wavnet-Mbps-8n":  first.WAVNet,
+			"wavnet-Mbps-64n": last.WAVNet,
+		}
+	})
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	runExperiment(b, "figure9", func(s fmt.Stringer) map[string]float64 {
+		r := s.(*experiments.Figure9Result)
+		m := map[string]float64{}
+		for _, series := range r.Series {
+			m[series.Name+"-mig-s"] = series.MigrationTime.Seconds()
+		}
+		return m
+	})
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	runExperiment(b, "table3", func(s fmt.Stringer) map[string]float64 {
+		r := s.(*experiments.TableIIIResult)
+		return map[string]float64{
+			"conn-ms-before": r.Rows[1].Mean,
+			"conn-ms-after":  r.Rows[3].Mean,
+		}
+	})
+}
+
+func BenchmarkTableIV(b *testing.B) {
+	runExperiment(b, "table4", func(s fmt.Stringer) map[string]float64 {
+		r := s.(*experiments.TableIVResult)
+		return map[string]float64{
+			"req1k-before": r.Rows[1].Req1K,
+			"req1k-after":  r.Rows[3].Req1K,
+		}
+	})
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	runExperiment(b, "figure10", func(s fmt.Stringer) map[string]float64 {
+		r := s.(*experiments.Figure10Result)
+		m := map[string]float64{}
+		for _, run := range r.Runs {
+			m[run.Pair+"-downtime-s"] = run.Downtime.Seconds()
+		}
+		return m
+	})
+}
+
+func BenchmarkTableV(b *testing.B) {
+	runExperiment(b, "table5", func(s fmt.Stringer) map[string]float64 {
+		r := s.(*experiments.TableVResult)
+		return map[string]float64{
+			"offcam-small-s": r.Rows[0].T128.Seconds(),
+			"sdsc-small-s":   r.Rows[4].T128.Seconds(),
+		}
+	})
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	runExperiment(b, "figure11", func(s fmt.Stringer) map[string]float64 {
+		r := s.(*experiments.Figure11Result)
+		return map[string]float64{
+			"ratio-64":  r.Rows[0].WithOverWithout,
+			"ratio-128": r.Rows[1].WithOverWithout,
+		}
+	})
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	runExperiment(b, "figure12", func(s fmt.Stringer) map[string]float64 {
+		r := s.(*experiments.Figure12Result)
+		return map[string]float64{
+			"p50-ms": float64(r.Percentile[50]) / 1e6,
+			"max-ms": float64(r.MaxRTT) / 1e6,
+		}
+	})
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	runExperiment(b, "figure13", func(s fmt.Stringer) map[string]float64 {
+		r := s.(*experiments.Figure13Result)
+		m := map[string]float64{}
+		for _, row := range r.Rows {
+			if row.K == 8 || row.K == 64 {
+				m[fmt.Sprintf("avg-ms-k%d", row.K)] = float64(row.Avg) / 1e6
+			}
+		}
+		return m
+	})
+}
+
+func BenchmarkFigure14(b *testing.B) {
+	runExperiment(b, "figure14", func(s fmt.Stringer) map[string]float64 {
+		r := s.(*experiments.Figure14Result)
+		m := map[string]float64{}
+		for _, row := range r.Rows {
+			key := fmt.Sprintf("%s-%dn-speedup", row.Bench, row.Hosts)
+			m[key] = float64(row.Random) / float64(row.Locality)
+		}
+		return m
+	})
+}

@@ -1,0 +1,70 @@
+// Command wavnet-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	wavnet-bench -list
+//	wavnet-bench [-seed N] [-paper] table2 figure6 ...
+//	wavnet-bench all
+//
+// Quick mode (default) shrinks durations and transfer sizes while
+// preserving each experiment's shape; -paper uses the publication
+// parameters where tractable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wavnet/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	paper := flag.Bool("paper", false, "use paper-scale parameters (slow)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-10s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: wavnet-bench [-seed N] [-paper] <experiment...|all>  (see -list)")
+		os.Exit(2)
+	}
+	var runners []experiments.Runner
+	if len(args) == 1 && args[0] == "all" {
+		runners = experiments.All()
+	} else {
+		for _, id := range args {
+			r, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (see -list)\n", id)
+				os.Exit(2)
+			}
+			runners = append(runners, r)
+		}
+	}
+	opts := experiments.Options{Seed: *seed, Quick: !*paper}
+	failed := 0
+	for _, r := range runners {
+		fmt.Printf("=== %s: %s\n", r.ID, r.Title)
+		start := time.Now()
+		res, err := r.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(res.String())
+		fmt.Printf("(%s wall time)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,105 @@
+// Resourcediscovery: the rendezvous layer as a resource index. Hosts
+// register multi-attribute state vectors (normalized CPU, memory) that
+// the CAN overlay indexes; a user queries by attribute point to find
+// machines matching a requirement, then asks the distance locator for a
+// mutually-near group (paper §II.A and §II.D).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+	"time"
+
+	"wavnet"
+)
+
+// attrDist is the Euclidean distance from a record's attrs to a point.
+func attrDist(a wavnet.Point, x, y float64) float64 {
+	if len(a) != 2 {
+		return math.Inf(1)
+	}
+	return math.Hypot(a[0]-x, a[1]-y)
+}
+
+func main() {
+	// Ten machines with varying resource states. Attrs are CAN
+	// coordinates in [0,1): here (cpu, mem), normalized.
+	var specs []wavnet.Spec
+	profiles := []struct {
+		cpu, mem float64
+	}{
+		{0.9, 0.8}, {0.85, 0.9}, {0.9, 0.85}, // big iron
+		{0.5, 0.5}, {0.45, 0.55}, {0.55, 0.4}, // mid
+		{0.1, 0.2}, {0.15, 0.1}, {0.2, 0.15}, {0.1, 0.1}, // small
+	}
+	for i, pr := range profiles {
+		specs = append(specs, wavnet.Spec{
+			Key:       fmt.Sprintf("pc%02d", i),
+			RTTToHub:  time.Duration(5+7*i) * time.Millisecond,
+			AccessBps: 50e6,
+			NAT:       wavnet.NATRestrictedCone,
+			Attrs:     wavnet.Point{pr.cpu, pr.mem},
+		})
+	}
+	world, err := wavnet.NewWorld(1, specs, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := world.WAVNetUp(); err != nil {
+		log.Fatal(err)
+	}
+
+	requester := world.M("pc00").WAV
+	world.Eng.Spawn("discover", func(p *wavnet.Proc) {
+		// 1. Find a machine by name (routed through the CAN by hash).
+		recs, err := requester.Lookup(p, "pc05")
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range recs {
+			fmt.Printf("lookup by name: %-6s NAT=%v mapped=%s attrs=%v\n",
+				r.Name, r.NAT, r.Mapped, r.Attrs)
+		}
+
+		// 2. Find machines by resource state: who looks like a big
+		// machine (cpu≈0.9, mem≈0.85)? The CAN owner of that zone
+		// returns its records; the requester ranks them by distance to
+		// the query point (with one rendezvous server the single zone
+		// spans the whole space, so ranking does the narrowing).
+		recs, err = requester.LookupAttrs(p, wavnet.Point{0.9, 0.85})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sort.Slice(recs, func(i, j int) bool {
+			return attrDist(recs[i].Attrs, 0.9, 0.85) < attrDist(recs[j].Attrs, 0.9, 0.85)
+		})
+		fmt.Println("\nbest matches for attribute point (0.9, 0.85):")
+		for _, r := range recs[:3] {
+			fmt.Printf("  %-6s attrs=%v\n", r.Name, r.Attrs)
+		}
+
+		// 3. Feed the distance locator and ask for a 4-host virtual
+		// cluster with minimal mutual latency.
+		for _, m := range world.Machines {
+			rtts := make(map[string]wavnet.Duration)
+			for peer, tun := range m.WAV.Tunnels() {
+				if tun.Established() {
+					if rtt, err := m.WAV.TunnelRTT(p, peer); err == nil {
+						rtts[peer] = rtt
+					}
+				}
+			}
+			m.WAV.ReportRTTs(rtts)
+		}
+		p.Sleep(2 * time.Second) // let the reports land
+
+		group, err := requester.GroupQuery(p, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ndistance locator's 4-host virtual cluster: %v\n", group)
+	})
+	world.Eng.RunFor(5 * time.Minute)
+}

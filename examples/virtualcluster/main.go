@@ -1,0 +1,43 @@
+// Virtualcluster: the locality-sensitive grouping strategy (paper §II.D)
+// applied to the PlanetLab-like latency universe of Figures 12-13 —
+// compare the clusters it builds against random selection.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"wavnet"
+)
+
+func main() {
+	ds := wavnet.PlanetLabDataset(42)
+	fmt.Printf("universe: %d hosts, %d pairs\n", ds.N(), ds.N()*(ds.N()-1)/2)
+
+	rng := rand.New(rand.NewSource(7))
+	fmt.Printf("%6s %22s %22s\n", "k", "locality avg/max (ms)", "random avg/max (ms)")
+	for _, k := range []int{4, 8, 16, 32, 64} {
+		loc, err := wavnet.GroupLocality(ds.RTT, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rnd, err := wavnet.GroupRandom(ds.RTT, k, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d %10.1f / %-10.1f %10.1f / %-10.1f\n", k,
+			msf(wavnet.GroupMeanLatency(ds.RTT, loc)), msf(wavnet.GroupMaxLatency(ds.RTT, loc)),
+			msf(wavnet.GroupMeanLatency(ds.RTT, rnd)), msf(wavnet.GroupMaxLatency(ds.RTT, rnd)))
+	}
+
+	// Show what the k=8 cluster looks like geographically.
+	loc, _ := wavnet.GroupLocality(ds.RTT, 8)
+	fmt.Println("\nlocality-selected 8-host cluster:")
+	for _, idx := range loc {
+		h := ds.Hosts[idx]
+		fmt.Printf("  host %3d  region=%s\n", h.Index, h.Region)
+	}
+}
+
+func msf(d wavnet.Duration) float64 { return float64(d) / 1e6 }

@@ -1,0 +1,86 @@
+package apps
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"wavnet/internal/netsim"
+	"wavnet/internal/sim"
+)
+
+func TestFetchDeliversExactBytes(t *testing.T) {
+	eng, a, b := pipeWorld(4, 80e6, 10*time.Millisecond)
+	srv, err := StartFileServer(b, 2200, map[string]int64{
+		"dataset.tar": 4 << 20,
+		"empty":       0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res, emptyRes *FetchResult
+	var fetchErr, emptyErr error
+	eng.Spawn("fetch", func(p *sim.Proc) {
+		res, fetchErr = Fetch(p, a, netsim.Addr{IP: b.IP(), Port: 2200}, "dataset.tar")
+		emptyRes, emptyErr = Fetch(p, a, netsim.Addr{IP: b.IP(), Port: 2200}, "empty")
+	})
+	eng.RunFor(10 * time.Minute)
+	if fetchErr != nil {
+		t.Fatalf("fetch: %v", fetchErr)
+	}
+	if res.Bytes != 4<<20 {
+		t.Fatalf("fetched %d bytes, want %d", res.Bytes, 4<<20)
+	}
+	if emptyErr != nil || emptyRes.Bytes != 0 {
+		t.Fatalf("empty file: %v / %+v", emptyErr, emptyRes)
+	}
+	if srv.Transfers != 2 || srv.BytesOut != 4<<20 {
+		t.Fatalf("server stats: %d transfers, %d bytes", srv.Transfers, srv.BytesOut)
+	}
+}
+
+func TestFetchThroughputTracksLinkRate(t *testing.T) {
+	// An 8 Mbps pipe should bound the transfer at ≈1 MB/s.
+	eng, a, b := pipeWorld(5, 8e6, 20*time.Millisecond)
+	if _, err := StartFileServer(b, 2200, map[string]int64{"big": 2 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	var res *FetchResult
+	var err error
+	eng.Spawn("fetch", func(p *sim.Proc) {
+		res, err = Fetch(p, a, netsim.Addr{IP: b.IP(), Port: 2200}, "big")
+	})
+	eng.RunFor(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MBps() > 1.1 {
+		t.Fatalf("%.2f MB/s exceeds an 8 Mbps link", res.MBps())
+	}
+	if res.MBps() < 0.6 {
+		t.Fatalf("%.2f MB/s is too far below the 1 MB/s link rate", res.MBps())
+	}
+}
+
+func TestFetchUnknownFile(t *testing.T) {
+	eng, a, b := pipeWorld(6, 0, 5*time.Millisecond)
+	if _, err := StartFileServer(b, 2200, map[string]int64{"real": 1024}); err != nil {
+		t.Fatal(err)
+	}
+	var err error
+	eng.Spawn("fetch", func(p *sim.Proc) {
+		_, err = Fetch(p, a, netsim.Addr{IP: b.IP(), Port: 2200}, "ghost")
+	})
+	eng.RunFor(time.Minute)
+	if !errors.Is(err, ErrNoSuchFile) {
+		t.Fatalf("want ErrNoSuchFile, got %v", err)
+	}
+}
+
+func TestFileServerRejectsNegativeSize(t *testing.T) {
+	eng, _, b := pipeWorld(7, 0, time.Millisecond)
+	_ = eng
+	if _, err := StartFileServer(b, 2200, map[string]int64{"bad": -1}); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}

@@ -1,0 +1,184 @@
+package bot
+
+import (
+	"testing"
+	"time"
+
+	"wavnet/internal/ether"
+	"wavnet/internal/ipstack"
+	"wavnet/internal/netsim"
+	"wavnet/internal/sim"
+)
+
+// cluster is a master plus n workers on one bridged segment.
+type cluster struct {
+	eng     *sim.Engine
+	master  *ipstack.Stack
+	workers []*Worker
+	wstacks []*ipstack.Stack
+	addrs   []netsim.Addr
+}
+
+// buildCluster wires the segment with the given per-frame bridge latency
+// and per-worker speeds.
+func buildCluster(t *testing.T, latency sim.Duration, speeds ...float64) *cluster {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	br := ether.NewBridge(eng, "br0", latency)
+	c := &cluster{eng: eng}
+	c.master = ipstack.New(eng, "master", br.AddPort("m"), ether.SeqMAC(1),
+		netsim.MustParseIP("10.7.0.1"), ipstack.Config{})
+	for i, sp := range speeds {
+		st := ipstack.New(eng, "worker", br.AddPort("w"), ether.SeqMAC(uint32(i+2)),
+			netsim.MakeIP(10, 7, 0, byte(10+i)), ipstack.Config{})
+		w, err := StartWorker(st, 9000, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.workers = append(c.workers, w)
+		c.wstacks = append(c.wstacks, st)
+		c.addrs = append(c.addrs, netsim.Addr{IP: st.IP(), Port: 9000})
+	}
+	return c
+}
+
+// execute runs the bag to completion and returns the run.
+func (c *cluster) execute(t *testing.T, tasks []Task, opts Options, horizon sim.Duration) *Run {
+	t.Helper()
+	var run *Run
+	var err error
+	c.eng.Spawn("bag", func(p *sim.Proc) {
+		run, err = Execute(p, c.master, c.addrs, tasks, opts)
+	})
+	c.eng.RunFor(horizon)
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	if run == nil {
+		t.Fatal("bag did not finish within the horizon")
+	}
+	return run
+}
+
+func TestSingleWorkerRunsSequentially(t *testing.T) {
+	c := buildCluster(t, 10*time.Microsecond, 1.0)
+	const n = 8
+	compute := 2 * time.Second
+	run := c.execute(t, UniformTasks(n, 1024, 1024, compute), Options{}, time.Hour)
+	if len(run.Results) != n {
+		t.Fatalf("completed %d tasks, want %d", len(run.Results), n)
+	}
+	if run.Makespan() < n*compute {
+		t.Fatalf("makespan %v below serial compute %v", run.Makespan(), n*compute)
+	}
+	if c.workers[0].TasksDone != n {
+		t.Fatalf("worker did %d tasks, want %d", c.workers[0].TasksDone, n)
+	}
+}
+
+func TestWorkersScaleNearLinearly(t *testing.T) {
+	compute := 4 * time.Second
+	const n = 16
+	c1 := buildCluster(t, 10*time.Microsecond, 1.0)
+	serial := c1.execute(t, UniformTasks(n, 256, 256, compute), Options{}, time.Hour).Makespan()
+	c4 := buildCluster(t, 10*time.Microsecond, 1, 1, 1, 1)
+	par := c4.execute(t, UniformTasks(n, 256, 256, compute), Options{}, time.Hour).Makespan()
+	speedup := serial.Seconds() / par.Seconds()
+	if speedup < 3.5 || speedup > 4.2 {
+		t.Fatalf("speedup %.2f with 4 workers, want ≈4 (serial %v, parallel %v)", speedup, serial, par)
+	}
+}
+
+func TestFasterWorkerTakesMoreTasks(t *testing.T) {
+	c := buildCluster(t, 10*time.Microsecond, 4.0, 1.0)
+	run := c.execute(t, UniformTasks(20, 512, 512, 2*time.Second), Options{}, time.Hour)
+	per := run.PerWorker()
+	fast, slow := per[c.addrs[0]], per[c.addrs[1]]
+	if fast <= slow {
+		t.Fatalf("fast worker did %d tasks, slow %d; pull scheduling should favour the fast one", fast, slow)
+	}
+	if fast+slow != 20 {
+		t.Fatalf("task accounting: %d+%d != 20", fast, slow)
+	}
+}
+
+func TestTransferDominatedBagFeelsTheNetwork(t *testing.T) {
+	// Same bag, same compute, but the far cluster's bridge adds 40 ms
+	// per frame: with 4 MB of input per task the transfer dominates.
+	near := buildCluster(t, 10*time.Microsecond, 1.0)
+	far := buildCluster(t, 40*time.Millisecond, 1.0)
+	bag := UniformTasks(4, 4<<20, 1024, 100*time.Millisecond)
+	nearMk := near.execute(t, bag, Options{}, 4*time.Hour).Makespan()
+	farMk := far.execute(t, bag, Options{}, 4*time.Hour).Makespan()
+	if farMk < 4*nearMk {
+		t.Fatalf("makespan near=%v far=%v; expected far ≫ near", nearMk, farMk)
+	}
+}
+
+func TestLanesOverlapTransferAndCompute(t *testing.T) {
+	// One worker, two lanes: while lane A computes, lane B transfers.
+	// With transfer ≈ compute the overlap shortens the makespan.
+	bag := UniformTasks(8, 2<<20, 1024, 500*time.Millisecond)
+	c1 := buildCluster(t, 2*time.Millisecond, 1.0)
+	oneLane := c1.execute(t, bag, Options{LanesPerWorker: 1}, time.Hour).Makespan()
+	c2 := buildCluster(t, 2*time.Millisecond, 1.0)
+	twoLanes := c2.execute(t, bag, Options{LanesPerWorker: 2}, time.Hour).Makespan()
+	if twoLanes >= oneLane {
+		t.Fatalf("two lanes (%v) not faster than one (%v)", twoLanes, oneLane)
+	}
+}
+
+func TestWorkerDeathRequeuesTasks(t *testing.T) {
+	c := buildCluster(t, 10*time.Microsecond, 1.0, 1.0)
+	// Detach worker 0's NIC mid-run: its in-flight task stalls, TCP
+	// times out, and the task must be requeued to worker 1.
+	c.eng.Schedule(3*time.Second, func() {
+		c.wstacks[0].SetNIC(nil)
+	})
+	run := c.execute(t, UniformTasks(10, 64<<10, 1024, 2*time.Second),
+		Options{TaskTimeout: 30 * time.Second}, 4*time.Hour)
+	if len(run.Results) != 10 {
+		t.Fatalf("completed %d tasks, want 10", len(run.Results))
+	}
+	if run.Requeues == 0 {
+		t.Fatal("no task was requeued despite the worker failure")
+	}
+	per := run.PerWorker()
+	if per[c.addrs[1]] == 0 {
+		t.Fatal("surviving worker did nothing")
+	}
+	retried := 0
+	for _, r := range run.Results {
+		if r.Attempts > 1 {
+			retried++
+		}
+	}
+	if retried == 0 {
+		t.Fatal("no result records a retry")
+	}
+}
+
+func TestExecuteValidatesInput(t *testing.T) {
+	c := buildCluster(t, 10*time.Microsecond, 1.0)
+	c.eng.Spawn("bad", func(p *sim.Proc) {
+		if _, err := Execute(p, c.master, nil, UniformTasks(1, 1, 1, time.Second), Options{}); err == nil {
+			t.Error("no error for empty worker set")
+		}
+		if _, err := Execute(p, c.master, c.addrs, nil, Options{}); err == nil {
+			t.Error("no error for empty bag")
+		}
+	})
+	c.eng.RunFor(time.Second)
+}
+
+func TestWorkerSpeedValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	br := ether.NewBridge(eng, "br0", 0)
+	st := ipstack.New(eng, "w", br.AddPort("w"), ether.SeqMAC(1), netsim.MustParseIP("10.7.0.2"), ipstack.Config{})
+	if _, err := StartWorker(st, 9000, 0); err == nil {
+		t.Fatal("zero speed accepted")
+	}
+	if _, err := StartWorker(st, 9000, -1); err == nil {
+		t.Fatal("negative speed accepted")
+	}
+}

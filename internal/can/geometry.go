@@ -1,0 +1,267 @@
+// Package can implements a Content-Addressable Network (Ratnasamy et al.,
+// SIGCOMM 2001): the structured overlay WAVNet's rendezvous servers use
+// to organize themselves and to index host resource states.
+//
+// Nodes partition a d-dimensional unit torus into zones. Each node owns
+// one or more zones (more than one transiently, after taking over a
+// departed neighbor), stores the resources whose key points fall inside
+// them, and routes greedily by forwarding to the neighbor closest to the
+// target point.
+package can
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a coordinate in the d-dimensional unit torus [0,1)^d.
+type Point []float64
+
+// Valid reports whether every coordinate lies in [0,1).
+func (p Point) Valid() bool {
+	for _, x := range p {
+		if x < 0 || x >= 1 || math.IsNaN(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the point.
+func (p Point) Clone() Point { return append(Point(nil), p...) }
+
+// torusDist1 is the one-dimensional circular distance between a and b.
+func torusDist1(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d > 0.5 {
+		d = 1 - d
+	}
+	return d
+}
+
+// Dist returns the Euclidean torus distance between two points.
+func Dist(a, b Point) float64 {
+	var s float64
+	for i := range a {
+		d := torusDist1(a[i], b[i])
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Zone is an axis-aligned hyper-rectangle [Lo[i], Hi[i]) per dimension.
+// Zones produced by binary splitting never wrap the torus.
+type Zone struct {
+	Lo, Hi Point
+}
+
+// FullZone returns the entire d-dimensional space.
+func FullZone(d int) Zone {
+	z := Zone{Lo: make(Point, d), Hi: make(Point, d)}
+	for i := range z.Hi {
+		z.Hi[i] = 1
+	}
+	return z
+}
+
+// Dims returns the dimensionality of the zone.
+func (z Zone) Dims() int { return len(z.Lo) }
+
+// Contains reports whether p falls inside the zone.
+func (z Zone) Contains(p Point) bool {
+	for i := range p {
+		if p[i] < z.Lo[i] || p[i] >= z.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Volume returns the zone's d-dimensional volume.
+func (z Zone) Volume() float64 {
+	v := 1.0
+	for i := range z.Lo {
+		v *= z.Hi[i] - z.Lo[i]
+	}
+	return v
+}
+
+// Center returns the zone's midpoint.
+func (z Zone) Center() Point {
+	c := make(Point, z.Dims())
+	for i := range c {
+		c[i] = (z.Lo[i] + z.Hi[i]) / 2
+	}
+	return c
+}
+
+// LongestDim returns the index of the widest dimension (ties to the
+// lowest index), which binary splitting halves to keep zones square-ish.
+func (z Zone) LongestDim() int {
+	best, bestW := 0, 0.0
+	for i := range z.Lo {
+		if w := z.Hi[i] - z.Lo[i]; w > bestW {
+			best, bestW = i, w
+		}
+	}
+	return best
+}
+
+// Split halves the zone along dim, returning the lower and upper halves.
+func (z Zone) Split(dim int) (lower, upper Zone) {
+	mid := (z.Lo[dim] + z.Hi[dim]) / 2
+	lower = Zone{Lo: z.Lo.Clone(), Hi: z.Hi.Clone()}
+	upper = Zone{Lo: z.Lo.Clone(), Hi: z.Hi.Clone()}
+	lower.Hi[dim] = mid
+	upper.Lo[dim] = mid
+	return lower, upper
+}
+
+// MergeableWith reports whether the two zones can be merged back into a
+// single rectangle (they abut along exactly one dimension and are equal
+// in all others), and the merged zone.
+func (z Zone) MergeableWith(o Zone) (Zone, bool) {
+	if z.Dims() != o.Dims() {
+		return Zone{}, false
+	}
+	mergeDim := -1
+	for i := range z.Lo {
+		same := z.Lo[i] == o.Lo[i] && z.Hi[i] == o.Hi[i]
+		abut := z.Hi[i] == o.Lo[i] || o.Hi[i] == z.Lo[i]
+		switch {
+		case same:
+			continue
+		case abut && mergeDim == -1:
+			mergeDim = i
+		default:
+			return Zone{}, false
+		}
+	}
+	if mergeDim == -1 {
+		return Zone{}, false
+	}
+	m := Zone{Lo: z.Lo.Clone(), Hi: z.Hi.Clone()}
+	m.Lo[mergeDim] = math.Min(z.Lo[mergeDim], o.Lo[mergeDim])
+	m.Hi[mergeDim] = math.Max(z.Hi[mergeDim], o.Hi[mergeDim])
+	return m, true
+}
+
+// overlap1 reports whether [alo,ahi) and [blo,bhi) share positive measure.
+func overlap1(alo, ahi, blo, bhi float64) bool {
+	return math.Max(alo, blo) < math.Min(ahi, bhi)
+}
+
+// abut1 reports whether the two intervals touch end-to-end on the torus.
+func abut1(alo, ahi, blo, bhi float64) bool {
+	if ahi == blo || bhi == alo {
+		return true
+	}
+	// Wraparound contact at the 0/1 seam.
+	if ahi == 1 && blo == 0 || bhi == 1 && alo == 0 {
+		return true
+	}
+	return false
+}
+
+// Adjacent reports whether two zones are CAN neighbors: they abut along
+// exactly one dimension and overlap in every other.
+func Adjacent(a, b Zone) bool {
+	if a.Dims() != b.Dims() {
+		return false
+	}
+	// The full space is nobody's neighbor (and a zone is not its own).
+	abuts := 0
+	for i := range a.Lo {
+		ao, bo := overlap1(a.Lo[i], a.Hi[i], b.Lo[i], b.Hi[i]), abut1(a.Lo[i], a.Hi[i], b.Lo[i], b.Hi[i])
+		switch {
+		case ao:
+			continue
+		case bo:
+			abuts++
+		default:
+			return false
+		}
+	}
+	return abuts == 1
+}
+
+// DistToPoint returns the Euclidean torus distance from p to the nearest
+// point of the zone (zero when contained). Greedy routing minimizes it.
+func (z Zone) DistToPoint(p Point) float64 {
+	var s float64
+	for i := range p {
+		if p[i] >= z.Lo[i] && p[i] < z.Hi[i] {
+			continue
+		}
+		d := math.Min(torusDist1(p[i], z.Lo[i]), torusDist1(p[i], z.Hi[i]))
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// String renders the zone compactly.
+func (z Zone) String() string {
+	s := "["
+	for i := range z.Lo {
+		if i > 0 {
+			s += " × "
+		}
+		s += fmt.Sprintf("%.4g..%.4g", z.Lo[i], z.Hi[i])
+	}
+	return s + ")"
+}
+
+// zonesOverlap reports whether any pair across the two zone sets shares
+// positive measure. Live zones never overlap, so overlap with a cached
+// neighbor entry means the cache is stale.
+func zonesOverlap(a, b []Zone) bool {
+	for _, za := range a {
+		for _, zb := range b {
+			all := true
+			for i := range za.Lo {
+				if !overlap1(za.Lo[i], za.Hi[i], zb.Lo[i], zb.Hi[i]) {
+					all = false
+					break
+				}
+			}
+			if all {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// minDistToZones returns the smallest DistToPoint over a zone set.
+func minDistToZones(zones []Zone, p Point) float64 {
+	best := math.Inf(1)
+	for _, z := range zones {
+		if d := z.DistToPoint(p); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// anyContains reports whether any zone in the set contains p.
+func anyContains(zones []Zone, p Point) bool {
+	for _, z := range zones {
+		if z.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// anyAdjacent reports whether any pair across the two zone sets is
+// adjacent or overlapping-adjacent.
+func anyAdjacent(a, b []Zone) bool {
+	for _, za := range a {
+		for _, zb := range b {
+			if Adjacent(za, zb) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,166 @@
+package can
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFullZone(t *testing.T) {
+	z := FullZone(3)
+	if z.Volume() != 1 {
+		t.Fatalf("full zone volume = %v", z.Volume())
+	}
+	if !z.Contains(Point{0, 0.5, 0.999}) {
+		t.Fatal("full zone must contain interior points")
+	}
+	if z.Contains(Point{0, 1, 0}) {
+		t.Fatal("upper bound is exclusive")
+	}
+}
+
+func TestSplitHalvesVolume(t *testing.T) {
+	z := FullZone(2)
+	lo, hi := z.Split(0)
+	if lo.Volume() != 0.5 || hi.Volume() != 0.5 {
+		t.Fatalf("split volumes %v, %v", lo.Volume(), hi.Volume())
+	}
+	if !lo.Contains(Point{0.25, 0.5}) || !hi.Contains(Point{0.75, 0.5}) {
+		t.Fatal("split halves contain wrong points")
+	}
+	if lo.Contains(Point{0.5, 0.5}) {
+		t.Fatal("boundary belongs to the upper half")
+	}
+	if !hi.Contains(Point{0.5, 0.5}) {
+		t.Fatal("upper half must contain the boundary")
+	}
+}
+
+func TestMergeInverseOfSplit(t *testing.T) {
+	z := Zone{Lo: Point{0.25, 0.5}, Hi: Point{0.5, 0.75}}
+	lo, hi := z.Split(1)
+	m, ok := lo.MergeableWith(hi)
+	if !ok {
+		t.Fatal("split halves must be mergeable")
+	}
+	if m.Volume() != z.Volume() || !m.Contains(z.Center()) {
+		t.Fatalf("merge produced %v, want %v", m, z)
+	}
+	// Non-abutting zones must not merge.
+	far := Zone{Lo: Point{0.75, 0.5}, Hi: Point{1, 0.75}}
+	if _, ok := lo.MergeableWith(far); ok {
+		t.Fatal("disjoint zones merged")
+	}
+}
+
+func TestAdjacent(t *testing.T) {
+	left := Zone{Lo: Point{0, 0}, Hi: Point{0.5, 1}}
+	right := Zone{Lo: Point{0.5, 0}, Hi: Point{1, 1}}
+	if !Adjacent(left, right) {
+		t.Fatal("abutting halves are neighbors")
+	}
+	// Torus wrap: [0,0.25) and [0.75,1) abut across the seam.
+	a := Zone{Lo: Point{0, 0}, Hi: Point{0.25, 1}}
+	b := Zone{Lo: Point{0.75, 0}, Hi: Point{1, 1}}
+	if !Adjacent(a, b) {
+		t.Fatal("zones must wrap around the torus seam")
+	}
+	// Corner contact (abut in two dims) is not adjacency.
+	c := Zone{Lo: Point{0, 0}, Hi: Point{0.5, 0.5}}
+	d := Zone{Lo: Point{0.5, 0.5}, Hi: Point{1, 1}}
+	if Adjacent(c, d) {
+		t.Fatal("corner contact misclassified as adjacency")
+	}
+}
+
+func TestDistToPoint(t *testing.T) {
+	z := Zone{Lo: Point{0.25, 0.25}, Hi: Point{0.5, 0.5}}
+	if d := z.DistToPoint(Point{0.3, 0.3}); d != 0 {
+		t.Fatalf("interior point distance %v", d)
+	}
+	if d := z.DistToPoint(Point{0.75, 0.3}); math.Abs(d-0.25) > 1e-12 {
+		t.Fatalf("distance %v, want 0.25", d)
+	}
+	// Wraparound: point at 0.95 is 0.05+0.25=0.30 from Lo across the seam
+	// but only 1-0.95+0.25... the near edge is Lo=0.25 at distance
+	// min(|0.95-0.25|, 1-0.7)=0.3; Hi=0.5 at min(0.45, 0.55)=0.45.
+	if d := z.DistToPoint(Point{0.95, 0.3}); math.Abs(d-0.3) > 1e-12 {
+		t.Fatalf("wrap distance %v, want 0.30", d)
+	}
+}
+
+func TestTorusDistSymmetryAndWrap(t *testing.T) {
+	if d := Dist(Point{0.1, 0.1}, Point{0.9, 0.1}); math.Abs(d-0.2) > 1e-12 {
+		t.Fatalf("wrap distance %v, want 0.2", d)
+	}
+	f := func(ax, ay, bx, by float64) bool {
+		norm := func(x float64) float64 { x = math.Mod(math.Abs(x), 1); return x }
+		a := Point{norm(ax), norm(ay)}
+		b := Point{norm(bx), norm(by)}
+		return math.Abs(Dist(a, b)-Dist(b, a)) < 1e-12 && Dist(a, b) <= math.Sqrt(0.5)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: repeated random splits always partition the space: volumes
+// sum to 1 and random points are contained in exactly one zone.
+func TestPropertySplitPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		zones := []Zone{FullZone(2)}
+		for i := 0; i < 40; i++ {
+			k := rng.Intn(len(zones))
+			lo, hi := zones[k].Split(zones[k].LongestDim())
+			zones[k] = lo
+			zones = append(zones, hi)
+		}
+		var vol float64
+		for _, z := range zones {
+			vol += z.Volume()
+		}
+		if math.Abs(vol-1) > 1e-12 {
+			t.Fatalf("volumes sum to %v", vol)
+		}
+		for probe := 0; probe < 100; probe++ {
+			p := Point{rng.Float64(), rng.Float64()}
+			owners := 0
+			for _, z := range zones {
+				if z.Contains(p) {
+					owners++
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("point %v owned by %d zones", p, owners)
+			}
+		}
+	}
+}
+
+// Property: after any split, the two halves are adjacent and mergeable.
+func TestPropertySplitAdjacentMergeable(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	zones := []Zone{FullZone(3)}
+	for i := 0; i < 100; i++ {
+		k := rng.Intn(len(zones))
+		dim := rng.Intn(3)
+		lo, hi := zones[k].Split(dim)
+		if !Adjacent(lo, hi) {
+			t.Fatalf("split halves of %v not adjacent", zones[k])
+		}
+		if m, ok := lo.MergeableWith(hi); !ok || math.Abs(m.Volume()-zones[k].Volume()) > 1e-15 {
+			t.Fatalf("split halves of %v not mergeable", zones[k])
+		}
+		zones[k] = lo
+		zones = append(zones, hi)
+	}
+}
+
+func TestZoneString(t *testing.T) {
+	z := Zone{Lo: Point{0, 0.5}, Hi: Point{0.5, 1}}
+	if z.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,698 @@
+package can
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"wavnet/internal/netsim"
+	"wavnet/internal/sim"
+)
+
+// Config tunes a CAN node.
+type Config struct {
+	Dims            int          // dimensionality of the space (default 2)
+	HeartbeatPeriod sim.Duration // neighbor hello interval (default 5s)
+	FailAfter       int          // heartbeats missed before takeover (default 3)
+	RPCTimeout      sim.Duration // client request timeout (default 3s)
+	MaxHops         int          // routing TTL (default 64)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dims <= 0 {
+		c.Dims = 2
+	}
+	if c.HeartbeatPeriod <= 0 {
+		c.HeartbeatPeriod = 5 * sim.Second
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 3
+	}
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = 3 * sim.Second
+	}
+	if c.MaxHops <= 0 {
+		c.MaxHops = 64
+	}
+	return c
+}
+
+type neighborInfo struct {
+	addr     netsim.Addr
+	zones    []Zone
+	lastSeen sim.Time
+	// neighborAddrs is the neighbor's own neighbor list from its last
+	// hello, used to greet bereaved peers after a failure takeover.
+	neighborAddrs []netsim.Addr
+}
+
+type pendingReq struct {
+	cb    func(*wireMsg, error)
+	timer *sim.Timer
+}
+
+// Node is one CAN participant (a WAVNet rendezvous server). All methods
+// must be called from simulation context.
+type Node struct {
+	host *netsim.Host
+	sock *netsim.UDPSocket
+	eng  *sim.Engine
+	cfg  Config
+
+	active    bool
+	zones     []Zone
+	resources map[string]*Resource
+	neighbors map[netsim.Addr]*neighborInfo
+
+	pending map[uint64]*pendingReq
+	nextID  uint64
+
+	hbEv *sim.Event
+
+	// Stats.
+	RouteForwards uint64
+	RouteFails    uint64
+	MsgsIn        uint64
+	MsgsOut       uint64
+	Takeovers     uint64
+}
+
+// NewNode binds a CAN node to a UDP port on host. The node is inactive
+// until Bootstrap or Join.
+func NewNode(host *netsim.Host, port uint16, cfg Config) (*Node, error) {
+	n := &Node{
+		host:      host,
+		eng:       host.Engine(),
+		cfg:       cfg.withDefaults(),
+		resources: make(map[string]*Resource),
+		neighbors: make(map[netsim.Addr]*neighborInfo),
+		pending:   make(map[uint64]*pendingReq),
+	}
+	sock, err := host.BindUDP(port, n.onPacket)
+	if err != nil {
+		return nil, err
+	}
+	n.sock = sock
+	return n, nil
+}
+
+// Addr returns the node's overlay address.
+func (n *Node) Addr() netsim.Addr { return n.sock.LocalAddr() }
+
+// Zones returns the zones the node currently owns.
+func (n *Node) Zones() []Zone { return append([]Zone(nil), n.zones...) }
+
+// NeighborCount reports the size of the neighbor set.
+func (n *Node) NeighborCount() int { return len(n.neighbors) }
+
+// ResourceCount reports the number of stored resources.
+func (n *Node) ResourceCount() int { return len(n.resources) }
+
+// Active reports whether the node currently owns any zone.
+func (n *Node) Active() bool { return n.active }
+
+// Bootstrap makes this node the first member, owning the whole space.
+func (n *Node) Bootstrap() {
+	n.zones = []Zone{FullZone(n.cfg.Dims)}
+	n.active = true
+	n.startHeartbeat()
+}
+
+// Join contacts a seed node and acquires a zone; cb runs with the outcome.
+func (n *Node) Join(seed netsim.Addr, cb func(error)) {
+	point := make(Point, n.cfg.Dims)
+	for i := range point {
+		point[i] = n.eng.Rand().Float64()
+	}
+	id := n.newRPC(func(m *wireMsg, err error) {
+		if err != nil {
+			cb(err)
+			return
+		}
+		n.zones = m.Zones
+		for _, r := range m.Resources {
+			r := r
+			n.resources[r.ID] = &r
+		}
+		n.active = true
+		now := n.eng.Now()
+		for _, nb := range m.Neighbors {
+			if n.adjacentToMe(nb.Zones) {
+				n.neighbors[nb.Addr] = &neighborInfo{addr: nb.Addr, zones: nb.Zones, lastSeen: now}
+			}
+		}
+		n.startHeartbeat()
+		n.sendHellos()
+		cb(nil)
+	})
+	n.send(seed, &wireMsg{
+		Kind:   kindJoinRoute,
+		ID:     id,
+		Origin: n.Addr(),
+		Target: point,
+	})
+}
+
+// Put stores (or refreshes) a resource at the owner of its key point.
+// ttl of zero means no expiry.
+func (n *Node) Put(res Resource, ttl sim.Duration, cb func(error)) {
+	if !res.Key.Valid() || len(res.Key) != n.cfg.Dims {
+		cb(fmt.Errorf("can: invalid key %v", res.Key))
+		return
+	}
+	if ttl > 0 {
+		res.Expires = int64(n.eng.Now().Add(ttl))
+	}
+	id := n.newRPC(func(m *wireMsg, err error) { cb(err) })
+	n.route(&wireMsg{
+		Kind:     kindPut,
+		ID:       id,
+		Origin:   n.Addr(),
+		Target:   res.Key,
+		Resource: &res,
+	})
+}
+
+// Remove deletes a resource by ID from the owner of its key point.
+func (n *Node) Remove(key Point, resID string, cb func(error)) {
+	id := n.newRPC(func(m *wireMsg, err error) { cb(err) })
+	n.route(&wireMsg{
+		Kind:   kindRemove,
+		ID:     id,
+		Origin: n.Addr(),
+		Target: key,
+		ResID:  resID,
+	})
+}
+
+// LookupResult is the answer to a Lookup: the owner of the queried point
+// and every live resource it stores.
+type LookupResult struct {
+	Owner     netsim.Addr
+	Resources []Resource
+	Hops      int
+}
+
+// Lookup routes to the owner of point and returns its resource set.
+func (n *Node) Lookup(point Point, cb func(LookupResult, error)) {
+	if !point.Valid() || len(point) != n.cfg.Dims {
+		cb(LookupResult{}, fmt.Errorf("can: invalid point %v", point))
+		return
+	}
+	id := n.newRPC(func(m *wireMsg, err error) {
+		if err != nil {
+			cb(LookupResult{}, err)
+			return
+		}
+		cb(LookupResult{Owner: m.Origin, Resources: m.Resources, Hops: m.Hops}, nil)
+	})
+	n.route(&wireMsg{
+		Kind:   kindLookup,
+		ID:     id,
+		Origin: n.Addr(),
+		Target: point,
+	})
+}
+
+// Leave gracefully hands the node's zones and resources to a neighbor and
+// deactivates the node.
+func (n *Node) Leave() {
+	if !n.active {
+		return
+	}
+	succ := n.chooseSuccessor()
+	if succ != nil {
+		msg := &wireMsg{
+			Kind:      kindTakeover,
+			Origin:    n.Addr(),
+			Zones:     n.zones,
+			Neighbors: n.neighborWires(),
+		}
+		for _, r := range n.resources {
+			msg.Resources = append(msg.Resources, *r)
+		}
+		sort.Slice(msg.Resources, func(i, j int) bool { return msg.Resources[i].ID < msg.Resources[j].ID })
+		n.send(succ.addr, msg)
+		for addr := range n.neighbors {
+			if addr != succ.addr {
+				n.send(addr, &wireMsg{Kind: kindBye, Origin: n.Addr()})
+			}
+		}
+	}
+	n.active = false
+	n.zones = nil
+	n.resources = make(map[string]*Resource)
+	n.neighbors = make(map[netsim.Addr]*neighborInfo)
+	if n.hbEv != nil {
+		n.eng.Cancel(n.hbEv)
+		n.hbEv = nil
+	}
+}
+
+// chooseSuccessor prefers a neighbor whose zone merges with ours into a
+// rectangle; otherwise the neighbor with the smallest total volume.
+func (n *Node) chooseSuccessor() *neighborInfo {
+	var best *neighborInfo
+	bestVol := 0.0
+	for _, nb := range n.sortedNeighbors() {
+		if len(n.zones) == 1 && len(nb.zones) == 1 {
+			if _, ok := n.zones[0].MergeableWith(nb.zones[0]); ok {
+				return nb
+			}
+		}
+		v := 0.0
+		for _, z := range nb.zones {
+			v += z.Volume()
+		}
+		if best == nil || v < bestVol {
+			best, bestVol = nb, v
+		}
+	}
+	return best
+}
+
+func (n *Node) sortedNeighbors() []*neighborInfo {
+	out := make([]*neighborInfo, 0, len(n.neighbors))
+	for _, nb := range n.neighbors {
+		out = append(out, nb)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].addr.IP != out[j].addr.IP {
+			return out[i].addr.IP < out[j].addr.IP
+		}
+		return out[i].addr.Port < out[j].addr.Port
+	})
+	return out
+}
+
+func (n *Node) neighborWires() []neighborWire {
+	var ws []neighborWire
+	for _, nb := range n.sortedNeighbors() {
+		ws = append(ws, neighborWire{Addr: nb.addr, Zones: nb.zones})
+	}
+	return ws
+}
+
+func (n *Node) adjacentToMe(zones []Zone) bool { return anyAdjacent(n.zones, zones) }
+
+// ---- messaging ----
+
+func (n *Node) send(to netsim.Addr, m *wireMsg) {
+	n.MsgsOut++
+	n.sock.SendTo(to, encode(m))
+}
+
+func (n *Node) newRPC(cb func(*wireMsg, error)) uint64 {
+	n.nextID++
+	id := n.nextID
+	pr := &pendingReq{cb: cb}
+	pr.timer = sim.NewTimer(n.eng, func() {
+		delete(n.pending, id)
+		cb(nil, errors.New("can: request timed out"))
+	})
+	pr.timer.Reset(n.cfg.RPCTimeout)
+	n.pending[id] = pr
+	return id
+}
+
+func (n *Node) resolveRPC(id uint64, m *wireMsg) {
+	pr, ok := n.pending[id]
+	if !ok {
+		return
+	}
+	pr.timer.Stop()
+	delete(n.pending, id)
+	if m.Kind == kindError {
+		pr.cb(nil, errors.New("can: "+m.Err))
+		return
+	}
+	pr.cb(m, nil)
+}
+
+func (n *Node) onPacket(pkt netsim.Packet) {
+	m, err := decode(pkt.Payload)
+	if err != nil {
+		return
+	}
+	n.MsgsIn++
+	switch m.Kind {
+	case kindJoinRoute:
+		n.route(m)
+	case kindPut, kindLookup, kindRemove:
+		n.route(m)
+	case kindJoinReply, kindPutAck, kindLookupReply, kindError:
+		n.resolveRPC(m.ID, m)
+	case kindHello:
+		n.onHello(pkt.Src, m)
+	case kindBye:
+		delete(n.neighbors, m.Origin)
+	case kindTakeover:
+		n.onTakeover(m)
+	}
+}
+
+// route delivers m locally if a zone of ours contains the target, else
+// greedily forwards toward it.
+func (n *Node) route(m *wireMsg) {
+	if !n.active {
+		n.replyError(m, "node inactive")
+		return
+	}
+	if anyContains(n.zones, m.Target) {
+		n.handleLocal(m)
+		return
+	}
+	m.Hops++
+	if m.Hops > n.cfg.MaxHops {
+		n.RouteFails++
+		n.replyError(m, "hop limit exceeded")
+		return
+	}
+	// A neighbor that owns the point outright wins immediately; this also
+	// resolves boundary points, whose distance to several zones is zero.
+	for _, nb := range n.sortedNeighbors() {
+		if anyContains(nb.zones, m.Target) {
+			n.RouteForwards++
+			n.send(nb.addr, m)
+			return
+		}
+	}
+	// Greedy step with a strict lexicographic (edge distance, center
+	// distance) improvement, which guarantees progress even along zone
+	// boundaries where edge distances tie at zero.
+	var best *neighborInfo
+	bestD := minDistToZones(n.zones, m.Target)
+	bestC := n.centerDist(n.zones, m.Target)
+	for _, nb := range n.sortedNeighbors() {
+		d := minDistToZones(nb.zones, m.Target)
+		c := n.centerDist(nb.zones, m.Target)
+		if d < bestD || (d == bestD && c < bestC) {
+			best, bestD, bestC = nb, d, c
+		}
+	}
+	if best == nil {
+		n.RouteFails++
+		n.replyError(m, "routing dead end")
+		return
+	}
+	n.RouteForwards++
+	n.send(best.addr, m)
+}
+
+// centerDist is the smallest distance from a zone center to the target.
+func (n *Node) centerDist(zones []Zone, p Point) float64 {
+	best := 2.0
+	for _, z := range zones {
+		if d := Dist(z.Center(), p); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func (n *Node) replyError(m *wireMsg, why string) {
+	if m.ID != 0 && !m.Origin.IsZero() {
+		n.send(m.Origin, &wireMsg{Kind: kindError, ID: m.ID, Err: why})
+	}
+}
+
+// handleLocal executes a routed request at the owner.
+func (n *Node) handleLocal(m *wireMsg) {
+	switch m.Kind {
+	case kindJoinRoute:
+		n.handleJoin(m)
+	case kindPut:
+		r := *m.Resource
+		n.resources[r.ID] = &r
+		n.send(m.Origin, &wireMsg{Kind: kindPutAck, ID: m.ID})
+	case kindRemove:
+		delete(n.resources, m.ResID)
+		n.send(m.Origin, &wireMsg{Kind: kindPutAck, ID: m.ID})
+	case kindLookup:
+		n.expireResources()
+		reply := &wireMsg{Kind: kindLookupReply, ID: m.ID, Origin: n.Addr(), Hops: m.Hops}
+		for _, r := range n.resources {
+			reply.Resources = append(reply.Resources, *r)
+		}
+		sort.Slice(reply.Resources, func(i, j int) bool { return reply.Resources[i].ID < reply.Resources[j].ID })
+		n.send(m.Origin, reply)
+	}
+}
+
+func (n *Node) expireResources() {
+	now := int64(n.eng.Now())
+	for id, r := range n.resources {
+		if r.Expires != 0 && r.Expires < now {
+			delete(n.resources, id)
+		}
+	}
+}
+
+// handleJoin splits the zone containing the join point and hands the half
+// containing it (with its resources and our neighbor set) to the joiner.
+func (n *Node) handleJoin(m *wireMsg) {
+	zi := -1
+	for i, z := range n.zones {
+		if z.Contains(m.Target) {
+			zi = i
+			break
+		}
+	}
+	if zi < 0 {
+		n.replyError(m, "join point not owned")
+		return
+	}
+	lower, upper := n.zones[zi].Split(n.zones[zi].LongestDim())
+	mine, theirs := lower, upper
+	if theirs.Contains(m.Target) {
+		// Joiner takes the half with its point.
+	} else {
+		mine, theirs = upper, lower
+	}
+	n.zones[zi] = mine
+
+	reply := &wireMsg{
+		Kind:  kindJoinReply,
+		ID:    m.ID,
+		Zones: []Zone{theirs},
+	}
+	// Hand over resources falling in the joiner's half.
+	for id, r := range n.resources {
+		if theirs.Contains(r.Key) {
+			reply.Resources = append(reply.Resources, *r)
+			delete(n.resources, id)
+		}
+	}
+	sort.Slice(reply.Resources, func(i, j int) bool { return reply.Resources[i].ID < reply.Resources[j].ID })
+	// Advertise our neighbors plus ourselves.
+	reply.Neighbors = append(n.neighborWires(), neighborWire{Addr: n.Addr(), Zones: n.zones})
+	n.send(m.Origin, reply)
+
+	// The joiner becomes our neighbor; our zone shrank, so refresh
+	// everyone and drop the no-longer-adjacent.
+	n.neighbors[m.Origin] = &neighborInfo{addr: m.Origin, zones: []Zone{theirs}, lastSeen: n.eng.Now()}
+	n.pruneNeighbors()
+	n.sendHellos()
+}
+
+func (n *Node) pruneNeighbors() {
+	for addr, nb := range n.neighbors {
+		if !n.adjacentToMe(nb.zones) {
+			delete(n.neighbors, addr)
+		}
+	}
+}
+
+// onHello refreshes (or establishes) a neighbor relationship, and drops
+// cached entries the sender's zones prove stale (e.g. a dead node whose
+// area the sender has taken over).
+func (n *Node) onHello(src netsim.Addr, m *wireMsg) {
+	if !n.active {
+		return
+	}
+	for addr, other := range n.neighbors {
+		if addr != src && zonesOverlap(other.zones, m.Zones) {
+			delete(n.neighbors, addr)
+		}
+	}
+	if !n.adjacentToMe(m.Zones) {
+		delete(n.neighbors, src)
+		return
+	}
+	nb, ok := n.neighbors[src]
+	if !ok {
+		nb = &neighborInfo{addr: src}
+		n.neighbors[src] = nb
+	}
+	nb.zones = m.Zones
+	nb.lastSeen = n.eng.Now()
+	nb.neighborAddrs = nb.neighborAddrs[:0]
+	for _, w := range m.Neighbors {
+		nb.neighborAddrs = append(nb.neighborAddrs, w.Addr)
+	}
+}
+
+// onTakeover adopts zones and resources from a departing (or claimed-dead)
+// neighbor.
+func (n *Node) onTakeover(m *wireMsg) {
+	if !n.active {
+		return
+	}
+	n.Takeovers++
+	n.adoptZones(m.Zones)
+	for _, r := range m.Resources {
+		r := r
+		n.resources[r.ID] = &r
+	}
+	delete(n.neighbors, m.Origin)
+	// Greet the leaver's neighbors so they learn the new owner.
+	now := n.eng.Now()
+	for _, nb := range m.Neighbors {
+		if nb.Addr == n.Addr() {
+			continue
+		}
+		if n.adjacentToMe(nb.Zones) {
+			if _, ok := n.neighbors[nb.Addr]; !ok {
+				n.neighbors[nb.Addr] = &neighborInfo{addr: nb.Addr, zones: nb.Zones, lastSeen: now}
+			}
+		}
+	}
+	n.sendHellos()
+}
+
+// adoptZones merges new zones into our set, coalescing rectangles where
+// possible.
+func (n *Node) adoptZones(zones []Zone) {
+	n.zones = append(n.zones, zones...)
+	for {
+		merged := false
+	outer:
+		for i := 0; i < len(n.zones); i++ {
+			for j := i + 1; j < len(n.zones); j++ {
+				if mz, ok := n.zones[i].MergeableWith(n.zones[j]); ok {
+					n.zones[i] = mz
+					n.zones = append(n.zones[:j], n.zones[j+1:]...)
+					merged = true
+					break outer
+				}
+			}
+		}
+		if !merged {
+			return
+		}
+	}
+}
+
+// ---- heartbeats & failure handling ----
+
+// startHeartbeat begins the jittered hello/failure-detection loop. The
+// ±10% jitter decorrelates detectors so one neighbor claims a dead zone
+// first and its hellos (which carry the new zone set) stop the rest.
+func (n *Node) startHeartbeat() {
+	if n.hbEv != nil {
+		n.eng.Cancel(n.hbEv)
+	}
+	var tick func()
+	schedule := func() {
+		j := 1 + (n.eng.Rand().Float64()*0.2 - 0.1)
+		d := sim.Duration(float64(n.cfg.HeartbeatPeriod) * j)
+		n.hbEv = n.eng.Schedule(d, tick)
+	}
+	tick = func() {
+		if !n.active {
+			return
+		}
+		n.sendHellos()
+		n.checkDead()
+		schedule()
+	}
+	schedule()
+}
+
+func (n *Node) sendHellos() {
+	msg := &wireMsg{Kind: kindHello, Origin: n.Addr(), Zones: n.zones, Neighbors: n.neighborWires()}
+	for _, nb := range n.sortedNeighbors() {
+		n.send(nb.addr, msg)
+	}
+}
+
+func (n *Node) checkDead() {
+	cutoff := n.eng.Now().Add(-sim.Duration(n.cfg.FailAfter) * n.cfg.HeartbeatPeriod)
+	for addr, nb := range n.neighbors {
+		if nb.lastSeen < cutoff {
+			// Takeover: adopt the dead neighbor's last known zones, then
+			// greet its former neighbors so they cancel their own claims.
+			delete(n.neighbors, addr)
+			n.Takeovers++
+			n.adoptZones(nb.zones)
+			now := n.eng.Now()
+			for _, peer := range nb.neighborAddrs {
+				if peer == n.Addr() {
+					continue
+				}
+				if _, known := n.neighbors[peer]; !known {
+					n.neighbors[peer] = &neighborInfo{addr: peer, lastSeen: now}
+				}
+			}
+			n.sendHellos()
+		}
+	}
+}
+
+// ---- blocking wrappers for process-style callers ----
+
+// JoinSync joins via seed and blocks the process until the join resolves.
+func (n *Node) JoinSync(p *sim.Proc, seed netsim.Addr) error {
+	var err error
+	done := false
+	n.Join(seed, func(e error) {
+		err = e
+		done = true
+		p.Unpark()
+	})
+	for !done {
+		p.Park()
+	}
+	return err
+}
+
+// PutSync stores a resource, blocking until acknowledged.
+func (n *Node) PutSync(p *sim.Proc, res Resource, ttl sim.Duration) error {
+	var err error
+	done := false
+	n.Put(res, ttl, func(e error) {
+		err = e
+		done = true
+		p.Unpark()
+	})
+	for !done {
+		p.Park()
+	}
+	return err
+}
+
+// LookupSync queries the owner of a point, blocking until the reply.
+func (n *Node) LookupSync(p *sim.Proc, point Point) (LookupResult, error) {
+	var res LookupResult
+	var err error
+	done := false
+	n.Lookup(point, func(r LookupResult, e error) {
+		res, err = r, e
+		done = true
+		p.Unpark()
+	})
+	for !done {
+		p.Park()
+	}
+	return res, err
+}
+
+// MarshalValue is a helper to JSON-encode resource payloads.
+func MarshalValue(v any) json.RawMessage {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic("can: value marshal: " + err.Error())
+	}
+	return b
+}

@@ -1,0 +1,360 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"wavnet/internal/ether"
+	"wavnet/internal/netsim"
+	"wavnet/internal/rendezvous"
+	"wavnet/internal/sim"
+	"wavnet/internal/stun"
+)
+
+// onPacket demultiplexes everything arriving on the WAVNet socket by the
+// first payload byte: JSON control ('{'), STUN (0x00/0x01), or one of
+// the Packet Assembler types.
+func (h *Host) onPacket(pkt netsim.Packet) {
+	if len(pkt.Payload) == 0 {
+		return
+	}
+	switch pkt.Payload[0] {
+	case '{':
+		if m, err := rendezvous.Decode(pkt.Payload); err == nil {
+			h.onControl(m)
+		}
+	case 0x00, 0x01:
+		if m, err := stun.Unmarshal(pkt.Payload); err == nil &&
+			m.Type == stun.TypeBindingResponse && h.stunWait != nil {
+			h.stunWait(m)
+		}
+	case paPulse:
+		h.onPulse(pkt.Src)
+	case paFrame:
+		if t, ok := h.byAddr[pkt.Src]; ok {
+			h.onTunnelFrame(t, pkt.Payload)
+		}
+	case paPunch, paPunchAck:
+		h.onPunch(pkt)
+	case paEcho:
+		// Bounce with the response type, payload otherwise unchanged.
+		resp := append([]byte(nil), pkt.Payload...)
+		resp[0] = paEchoResp
+		h.sock.SendTo(pkt.Src, resp)
+	case paEchoResp:
+		h.onEchoResp(pkt.Payload)
+	case rendezvous.RelayMagic:
+		h.onRelayEnvelope(pkt)
+	}
+}
+
+// onRelayEnvelope unwraps broker-relayed tunnel traffic and dispatches
+// the inner packet against the channel's tunnel.
+func (h *Host) onRelayEnvelope(pkt netsim.Packet) {
+	if len(pkt.Payload) < rendezvous.RelayHeaderLen+1 {
+		return
+	}
+	ch := binary.BigEndian.Uint64(pkt.Payload[1:])
+	t, ok := h.byChan[ch]
+	if !ok {
+		return
+	}
+	inner := pkt.Payload[rendezvous.RelayHeaderLen:]
+	switch inner[0] {
+	case paPulse:
+		t.PulsesIn++
+		t.lastHeard = h.eng.Now()
+	case paFrame:
+		h.onTunnelFrame(t, inner)
+	case paEcho:
+		resp := append([]byte(nil), inner...)
+		resp[0] = paEchoResp
+		h.tunnelSend(t, resp)
+	case paEchoResp:
+		h.onEchoResp(inner)
+	}
+}
+
+// tunnelSend transmits one Packet Assembler packet over a tunnel,
+// wrapping it in the relay envelope when the tunnel is brokered.
+func (h *Host) tunnelSend(t *Tunnel, b []byte) {
+	if !t.Relayed {
+		h.sock.SendTo(t.Remote, b)
+		return
+	}
+	wire := make([]byte, rendezvous.RelayHeaderLen+len(b))
+	wire[0] = rendezvous.RelayMagic
+	binary.BigEndian.PutUint64(wire[1:], t.relayChan)
+	copy(wire[rendezvous.RelayHeaderLen:], b)
+	h.sock.SendTo(t.Remote, wire)
+}
+
+// startRelay establishes a brokered tunnel from a relay-order: no
+// punching is needed, but an immediate pulse registers our (possibly
+// symmetric-NAT) mapping at the relay so the peer's traffic can flow.
+func (h *Host) startRelay(rec rendezvous.HostRecord, ch uint64, relay netsim.Addr) {
+	t, ok := h.tunnels[rec.Name]
+	if ok && t.established && !t.Relayed {
+		return // direct path already up; keep it
+	}
+	if !ok {
+		t = &Tunnel{host: h, Peer: rec.Name}
+		h.tunnels[rec.Name] = t
+	}
+	t.Relayed = true
+	t.Remote = relay
+	t.relayChan = ch
+	h.byChan[ch] = t
+	t.PulsesOut++
+	h.tunnelSend(t, []byte{paPulse, 0x00})
+	h.establish(t)
+}
+
+// onControl handles broker messages: RPC replies and unsolicited punch
+// or relay orders.
+func (h *Host) onControl(m *rendezvous.Msg) {
+	if m.Kind == "punch-order" && m.Peer != nil {
+		h.startPunch(*m.Peer)
+		// A punch-order may double as the reply to our connect RPC; the
+		// connect waiter resolves on tunnel establishment instead.
+		return
+	}
+	if m.Kind == "relay-order" && m.Peer != nil && m.RelayChan != 0 {
+		h.startRelay(*m.Peer, m.RelayChan, m.RelayAddr)
+		return
+	}
+	if w, ok := h.waiters[m.ID]; ok {
+		delete(h.waiters, m.ID)
+		w(m)
+	}
+}
+
+// ---- hole punching ----
+
+// startPunch begins the probe exchange toward a peer's external mapping.
+// Both sides do this at roughly the same time (the rendezvous servers
+// order both), which opens the NAT mappings along both directions.
+func (h *Host) startPunch(rec rendezvous.HostRecord) {
+	t, ok := h.tunnels[rec.Name]
+	if ok && t.established {
+		return
+	}
+	if !ok {
+		t = &Tunnel{host: h, Peer: rec.Name, Remote: rec.Mapped}
+		h.tunnels[rec.Name] = t
+		h.byAddr[rec.Mapped] = t
+	}
+	probe := h.punchPacket(paPunch)
+	tries := 0
+	var tick func()
+	tick = func() {
+		if t.established || tries >= h.cfg.PunchTries {
+			return
+		}
+		tries++
+		h.PunchesSent++
+		h.sock.SendTo(t.Remote, probe)
+		h.eng.Schedule(h.cfg.PunchInterval, tick)
+	}
+	tick()
+}
+
+// punchPacket is [type][nameLen][name]: the receiver needs to know who is
+// knocking.
+func (h *Host) punchPacket(typ byte) []byte {
+	b := make([]byte, 2+len(h.name))
+	b[0] = typ
+	b[1] = byte(len(h.name))
+	copy(b[2:], h.name)
+	return b
+}
+
+func (h *Host) onPunch(pkt netsim.Packet) {
+	if len(pkt.Payload) < 2 {
+		return
+	}
+	n := int(pkt.Payload[1])
+	if len(pkt.Payload) < 2+n {
+		return
+	}
+	peer := string(pkt.Payload[2 : 2+n])
+	h.PunchesRecv++
+	t, ok := h.tunnels[peer]
+	if !ok {
+		// Punch from a peer we have no record for yet (their order
+		// arrived before ours): adopt the observed address.
+		t = &Tunnel{host: h, Peer: peer, Remote: pkt.Src}
+		h.tunnels[peer] = t
+		h.byAddr[pkt.Src] = t
+	}
+	// Adopt the observed source (authoritative over the record).
+	if t.Remote != pkt.Src {
+		delete(h.byAddr, t.Remote)
+		t.Remote = pkt.Src
+		h.byAddr[pkt.Src] = t
+	}
+	if pkt.Payload[0] == paPunch {
+		h.sock.SendTo(pkt.Src, h.punchPacket(paPunchAck))
+	}
+	h.establish(t)
+}
+
+// establish marks a tunnel live and starts its CONNECT_PULSE keepalive.
+func (h *Host) establish(t *Tunnel) {
+	t.lastHeard = h.eng.Now()
+	if t.established {
+		return
+	}
+	t.established = true
+	t.pulser = sim.NewTicker(h.eng, h.cfg.PulsePeriod, func() { h.pulse(t) })
+	// Wake connect waiters.
+	if ws := h.connWaiters[t.Peer]; len(ws) > 0 {
+		delete(h.connWaiters, t.Peer)
+		for _, w := range ws {
+			w()
+		}
+	}
+}
+
+// pulse sends the 2-byte CONNECT_PULSE and applies dead-peer detection.
+func (h *Host) pulse(t *Tunnel) {
+	if h.eng.Now().Sub(t.lastHeard) > h.cfg.TunnelTimeout {
+		h.dropTunnel(t)
+		return
+	}
+	t.PulsesOut++
+	h.tunnelSend(t, []byte{paPulse, 0x00})
+}
+
+func (h *Host) onPulse(src netsim.Addr) {
+	if t, ok := h.byAddr[src]; ok {
+		t.PulsesIn++
+		t.lastHeard = h.eng.Now()
+	}
+}
+
+// ---- tunnel RTT probes ----
+
+// TunnelRTT measures the round-trip time over an established tunnel.
+func (h *Host) TunnelRTT(p *sim.Proc, peer string) (sim.Duration, error) {
+	t, ok := h.tunnels[peer]
+	if !ok || !t.established {
+		return 0, ErrNoSuchTunnel
+	}
+	h.nextEcho++
+	id := h.nextEcho
+	b := make([]byte, 17)
+	b[0] = paEcho
+	binary.BigEndian.PutUint64(b[1:], id)
+	binary.BigEndian.PutUint64(b[9:], uint64(h.eng.Now()))
+	var rtt sim.Duration
+	done := false
+	h.echoWaiters[id] = func(d sim.Duration) {
+		rtt = d
+		done = true
+		p.Unpark()
+	}
+	h.tunnelSend(t, b)
+	timer := sim.NewTimer(h.eng, func() {
+		if _, live := h.echoWaiters[id]; live {
+			delete(h.echoWaiters, id)
+			done = true
+			p.Unpark()
+		}
+	})
+	timer.Reset(h.cfg.RPCTimeout)
+	for !done {
+		p.Park()
+	}
+	timer.Stop()
+	if rtt == 0 {
+		return 0, ErrTimeout
+	}
+	return rtt, nil
+}
+
+func (h *Host) onEchoResp(payload []byte) {
+	if len(payload) < 17 {
+		return
+	}
+	id := binary.BigEndian.Uint64(payload[1:])
+	sent := sim.Time(binary.BigEndian.Uint64(payload[9:]))
+	if w, ok := h.echoWaiters[id]; ok {
+		delete(h.echoWaiters, id)
+		w(h.eng.Now().Sub(sent))
+	}
+}
+
+// ---- data path: Packet Assembler + WAV-Switch ----
+
+// onTapFrame captures a frame leaving the local bridge and switches it
+// onto tunnels: known unicast goes to one tunnel, everything else floods
+// all established tunnels (the WAV-Switch behaves like an Ethernet
+// switch whose ports are wide-area connections).
+func (h *Host) onTapFrame(f *ether.Frame) {
+	if f.WireLen() > h.VirtualMTU()+ether.HeaderLen {
+		return // oversized for the tunnel
+	}
+	wire := make([]byte, 1+f.WireLen())
+	wire[0] = paFrame
+	copy(wire[1:], f.Marshal())
+	send := func(t *Tunnel) {
+		t.FramesOut++
+		t.BytesOut += uint64(len(wire))
+		h.FramesSent++
+		h.tunnelSend(t, wire)
+	}
+	deliver := func() {
+		if !f.Dst.IsBroadcast() && !f.Dst.IsMulticast() {
+			if t, ok := h.wswitch.Lookup(f.Dst); ok && t.established {
+				send(t)
+				return
+			}
+		}
+		h.FloodedFrames++
+		for _, t := range h.sortedTunnels() {
+			if t.established {
+				send(t)
+			}
+		}
+	}
+	if h.cfg.PacketCost > 0 {
+		h.eng.Schedule(h.cfg.PacketCost, deliver)
+	} else {
+		deliver()
+	}
+}
+
+// sortedTunnels returns tunnels in deterministic order for flooding.
+func (h *Host) sortedTunnels() []*Tunnel {
+	out := make([]*Tunnel, 0, len(h.tunnels))
+	for _, t := range h.tunnels {
+		out = append(out, t)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Peer < out[j-1].Peer; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// onTunnelFrame decapsulates a frame arriving over a tunnel (payload is
+// [paFrame][frame bytes]), teaches the WAV-Switch where its source MAC
+// lives, and injects it into the local bridge through the tap.
+func (h *Host) onTunnelFrame(t *Tunnel, payload []byte) {
+	t.lastHeard = h.eng.Now()
+	f, err := ether.UnmarshalFrame(payload[1:])
+	if err != nil {
+		return
+	}
+	t.FramesIn++
+	t.BytesIn += uint64(len(payload))
+	h.FramesRecv++
+	h.wswitch.Learn(f.Src, t)
+	inject := func() { h.tap.Send(f) }
+	if h.cfg.PacketCost > 0 {
+		h.eng.Schedule(h.cfg.PacketCost, inject)
+	} else {
+		inject()
+	}
+}

@@ -1,0 +1,566 @@
+// Package core implements the WAVNet host: the paper's primary
+// contribution. A Host owns one physical UDP socket over which it
+// multiplexes (1) rendezvous-layer control traffic, (2) STUN binding
+// requests, (3) UDP hole punching, and (4) the Packet Assembler's
+// encapsulated Ethernet frames and CONNECT_PULSE keepalives.
+//
+// Locally the host runs a software bridge; WAVNet attaches to it through
+// a tap port. Frames leaving the bridge through the tap are encapsulated
+// and switched onto direct host-to-host tunnels by the WAV-Switch (a MAC
+// learning table whose ports are wide-area tunnels); frames arriving
+// from tunnels are injected back through the tap. VMs and the host's own
+// virtual stack plug into the same bridge, which is what makes gratuitous
+// ARP after live migration propagate to every connected host.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"wavnet/internal/can"
+	"wavnet/internal/ether"
+	"wavnet/internal/ipstack"
+	"wavnet/internal/netsim"
+	"wavnet/internal/rendezvous"
+	"wavnet/internal/sim"
+	"wavnet/internal/stun"
+)
+
+// Packet Assembler type identifiers (first payload byte). They are
+// chosen to collide with neither STUN (0x00/0x01 first byte) nor JSON
+// ('{' = 0x7B) so one socket can carry everything.
+const (
+	paPulse    = 0x10 // CONNECT_PULSE: 2-byte keepalive
+	paFrame    = 0x11 // encapsulated Ethernet frame
+	paPunch    = 0x12 // hole punching probe
+	paPunchAck = 0x13 // hole punching acknowledgement
+	paEcho     = 0x14 // tunnel RTT probe
+	paEchoResp = 0x15 // tunnel RTT response
+)
+
+// Errors returned by Host operations.
+var (
+	ErrNotJoined    = errors.New("core: host has not joined a rendezvous server")
+	ErrPunchFailed  = errors.New("core: hole punching failed")
+	ErrTimeout      = errors.New("core: operation timed out")
+	ErrUnreachable  = errors.New("core: rendezvous server unreachable")
+	ErrNoSuchTunnel = errors.New("core: no tunnel to peer")
+)
+
+// Config tunes a WAVNet host.
+type Config struct {
+	Port uint16 // WAVNet UDP port (default 4500)
+
+	// PulsePeriod is the CONNECT_PULSE interval on established tunnels;
+	// the paper uses 5 s against NAT timeouts of minutes.
+	PulsePeriod sim.Duration
+	// TunnelTimeout declares a tunnel dead with no inbound traffic.
+	TunnelTimeout sim.Duration
+	// RendezvousPulsePeriod keeps the broker session (and its NAT
+	// mapping) alive.
+	RendezvousPulsePeriod sim.Duration
+
+	PunchTries    int
+	PunchInterval sim.Duration
+
+	// RPCTimeout bounds control-plane waits (join, lookup, connect).
+	RPCTimeout sim.Duration
+
+	// Attrs is the host's resource state vector for CAN-indexed queries.
+	Attrs can.Point
+
+	// BridgeLatency is the software bridge's per-frame forwarding cost.
+	BridgeLatency sim.Duration
+	// PacketCost is the Packet Assembler's per-packet processing time on
+	// both encapsulation and decapsulation (user-level tap handling).
+	PacketCost sim.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Port == 0 {
+		c.Port = 4500
+	}
+	if c.PulsePeriod <= 0 {
+		c.PulsePeriod = 5 * sim.Second
+	}
+	if c.TunnelTimeout <= 0 {
+		c.TunnelTimeout = 30 * sim.Second
+	}
+	if c.RendezvousPulsePeriod <= 0 {
+		c.RendezvousPulsePeriod = 15 * sim.Second
+	}
+	if c.PunchTries <= 0 {
+		c.PunchTries = 10
+	}
+	if c.PunchInterval <= 0 {
+		c.PunchInterval = 200 * sim.Millisecond
+	}
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = 10 * sim.Second
+	}
+	if c.BridgeLatency <= 0 {
+		c.BridgeLatency = 10 * sim.Microsecond
+	}
+	if c.PacketCost <= 0 {
+		c.PacketCost = 15 * sim.Microsecond
+	}
+	return c
+}
+
+// Tunnel is one host-to-host connection: usually a direct punched path,
+// or — for NAT pairs hole punching cannot traverse — a channel relayed
+// through the rendezvous server.
+type Tunnel struct {
+	host        *Host
+	Peer        string
+	Remote      netsim.Addr
+	established bool
+	lastHeard   sim.Time
+	pulser      *sim.Ticker
+
+	// Relayed marks a broker-relayed tunnel; Remote is then the relay
+	// address and every packet carries the relay envelope.
+	Relayed   bool
+	relayChan uint64
+
+	// Stats.
+	FramesOut, FramesIn uint64
+	BytesOut, BytesIn   uint64
+	PulsesOut, PulsesIn uint64
+}
+
+// Established reports whether hole punching (or relay setup) completed.
+func (t *Tunnel) Established() bool { return t.established }
+
+// Host is a WAVNet participant.
+type Host struct {
+	name string
+	phys *netsim.Host
+	eng  *sim.Engine
+	cfg  Config
+
+	sock   *netsim.UDPSocket
+	bridge *ether.Bridge
+	tap    *ether.BridgePort
+
+	wswitch *ether.MACTable[*Tunnel]
+	tunnels map[string]*Tunnel
+	byAddr  map[netsim.Addr]*Tunnel
+	byChan  map[uint64]*Tunnel // relayed tunnels keyed by channel id
+
+	rdv      netsim.Addr
+	joined   bool
+	natClass stun.NATClass
+	mapped   netsim.Addr
+	rdvTick  *sim.Ticker
+
+	nextID   uint64
+	waiters  map[uint64]func(*rendezvous.Msg)
+	stunWait func(*stun.Message)
+	// connWaiters fire when a tunnel to the named peer establishes.
+	connWaiters map[string][]func()
+	echoWaiters map[uint64]func(sim.Duration)
+	nextEcho    uint64
+
+	dom0   *ipstack.Stack
+	vifSeq uint32
+	macSeq uint32
+
+	// Stats.
+	FramesSent, FramesRecv   uint64
+	FloodedFrames            uint64
+	PunchesSent, PunchesRecv uint64
+}
+
+// NewHost creates a WAVNet host on a physical machine. The bridge, tap
+// and WAV-Switch are wired immediately; Join connects the control plane.
+func NewHost(phys *netsim.Host, name string, cfg Config) (*Host, error) {
+	cfg = cfg.withDefaults()
+	h := &Host{
+		name:        name,
+		phys:        phys,
+		eng:         phys.Engine(),
+		cfg:         cfg,
+		tunnels:     make(map[string]*Tunnel),
+		byAddr:      make(map[netsim.Addr]*Tunnel),
+		byChan:      make(map[uint64]*Tunnel),
+		waiters:     make(map[uint64]func(*rendezvous.Msg)),
+		connWaiters: make(map[string][]func()),
+		echoWaiters: make(map[uint64]func(sim.Duration)),
+	}
+	sock, err := phys.BindUDP(cfg.Port, h.onPacket)
+	if err != nil {
+		return nil, err
+	}
+	h.sock = sock
+	h.bridge = ether.NewBridge(h.eng, name+"-br0", cfg.BridgeLatency)
+	h.tap = h.bridge.AddPort("wav0")
+	h.tap.SetRecv(h.onTapFrame)
+	h.wswitch = ether.NewMACTable[*Tunnel](h.eng, 0)
+	return h, nil
+}
+
+// Name returns the host's WAVNet name.
+func (h *Host) Name() string { return h.name }
+
+// Phys returns the underlying physical machine.
+func (h *Host) Phys() *netsim.Host { return h.phys }
+
+// Bridge returns the host's software bridge.
+func (h *Host) Bridge() *ether.Bridge { return h.bridge }
+
+// NATClass reports the STUN classification from Join.
+func (h *Host) NATClass() stun.NATClass { return h.natClass }
+
+// Mapped reports the external address of the WAVNet socket as observed
+// during Join.
+func (h *Host) Mapped() netsim.Addr { return h.mapped }
+
+// Tunnels returns the current tunnel set keyed by peer name.
+func (h *Host) Tunnels() map[string]*Tunnel {
+	out := make(map[string]*Tunnel, len(h.tunnels))
+	for k, v := range h.tunnels {
+		out[k] = v
+	}
+	return out
+}
+
+// Tunnel returns the tunnel to a peer, if established.
+func (h *Host) Tunnel(peer string) (*Tunnel, bool) {
+	t, ok := h.tunnels[peer]
+	return t, ok
+}
+
+// VirtualMTU is the MTU usable on the virtual LAN: the physical UDP
+// payload budget minus Packet Assembler, relay envelope and Ethernet
+// header overhead. The relay envelope is reserved even on direct
+// tunnels so every host on a virtual LAN agrees on one MTU.
+func (h *Host) VirtualMTU() int {
+	return 1472 - 1 - rendezvous.RelayHeaderLen - ether.HeaderLen
+}
+
+// ---- NIC plumbing for stacks and VMs ----
+
+// AttachVIF adds a port to the host bridge (for a VM's virtual NIC or an
+// extra local stack) and returns it.
+func (h *Host) AttachVIF(name string) ether.NIC {
+	return h.bridge.AddPort(name)
+}
+
+// DetachVIF unplugs a previously attached port.
+func (h *Host) DetachVIF(nic ether.NIC) {
+	if p, ok := nic.(*ether.BridgePort); ok {
+		h.bridge.RemovePort(p)
+	}
+}
+
+// CreateDom0 attaches the host's own virtual stack (the management
+// domain of Figure 5) to the bridge with the given virtual IP.
+func (h *Host) CreateDom0(ip netsim.IP) *ipstack.Stack {
+	h.macSeq++
+	nic := h.AttachVIF("vnet0")
+	h.dom0 = ipstack.New(h.eng, h.name+"-dom0", nic, h.newMAC(), ip,
+		ipstack.Config{MTU: h.VirtualMTU()})
+	return h.dom0
+}
+
+// Dom0 returns the host's management stack (nil before CreateDom0).
+func (h *Host) Dom0() *ipstack.Stack { return h.dom0 }
+
+// NewMAC hands out deterministic unique MACs for VMs on this host.
+func (h *Host) NewMAC() ether.MAC { return h.newMAC() }
+
+func (h *Host) newMAC() ether.MAC {
+	h.macSeq++
+	// Derive from the host name: physical IPs are not unique across
+	// NATed LANs (every site can use 192.168.0.2).
+	var hash uint32 = 2166136261
+	for i := 0; i < len(h.name); i++ {
+		hash ^= uint32(h.name[i])
+		hash *= 16777619
+	}
+	return ether.MAC{0x02, 0x57, byte(hash >> 24), byte(hash >> 16), byte(hash >> 8), byte(h.macSeq)}
+}
+
+// ---- control plane ----
+
+func (h *Host) newWaiter(fn func(*rendezvous.Msg)) uint64 {
+	h.nextID++
+	id := h.nextID
+	h.waiters[id] = fn
+	return id
+}
+
+// rpc sends a rendezvous message and blocks until the matching reply or
+// the RPC timeout.
+func (h *Host) rpc(p *sim.Proc, m *rendezvous.Msg) (*rendezvous.Msg, error) {
+	var resp *rendezvous.Msg
+	done := false
+	id := h.newWaiter(func(r *rendezvous.Msg) {
+		resp = r
+		done = true
+		p.Unpark()
+	})
+	m.ID = id
+	h.sock.SendTo(h.rdv, rendezvous.Encode(m))
+	timer := sim.NewTimer(h.eng, func() {
+		if _, live := h.waiters[id]; live {
+			delete(h.waiters, id)
+			done = true
+			p.Unpark()
+		}
+	})
+	timer.Reset(h.cfg.RPCTimeout)
+	for !done {
+		p.Park()
+	}
+	timer.Stop()
+	if resp == nil {
+		return nil, ErrTimeout
+	}
+	if resp.Kind == "error" || resp.Error != "" {
+		return nil, fmt.Errorf("core: rendezvous: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Join registers the host with a rendezvous server: STUN classification,
+// external-mapping discovery on the WAVNet socket, broker registration
+// and the keepalive session.
+func (h *Host) Join(p *sim.Proc, rdv netsim.Addr) error {
+	h.rdv = rdv
+	stunAddr := netsim.Addr{IP: rdv.IP, Port: 3478}
+
+	// 1. Classify the NAT in front of us (dedicated socket; the NAT type
+	// is a property of the gateway, not of the socket).
+	res, err := stun.Classify(p, h.phys, stunAddr, stun.Config{})
+	if err != nil {
+		return fmt.Errorf("core: STUN classify: %w", err)
+	}
+	h.natClass = res.Class
+
+	// 2. Learn the WAVNet socket's own external mapping: a binding
+	// request from the main socket (cone NATs map per local endpoint).
+	mapped, err := h.bindingRequest(p, stunAddr)
+	if err != nil {
+		return fmt.Errorf("core: STUN binding: %w", err)
+	}
+	h.mapped = mapped
+
+	// 3. Register with the broker.
+	rec := rendezvous.HostRecord{
+		Name:  h.name,
+		NAT:   h.natClass.NATType(),
+		Attrs: h.cfg.Attrs,
+	}
+	resp, err := h.rpc(p, &rendezvous.Msg{Kind: "join", Rec: &rec})
+	if err != nil {
+		return err
+	}
+	if resp.Rec != nil {
+		h.mapped = resp.Rec.Mapped
+	}
+	h.joined = true
+
+	// 4. Keep the broker session (and its NAT mapping) alive.
+	if h.rdvTick != nil {
+		h.rdvTick.Stop()
+	}
+	h.rdvTick = sim.NewTicker(h.eng, h.cfg.RendezvousPulsePeriod, func() {
+		h.sock.SendTo(h.rdv, rendezvous.Encode(&rendezvous.Msg{Kind: "pulse", Name: h.name}))
+	})
+	return nil
+}
+
+// JoinAny registers with the first reachable rendezvous server in the
+// list — the paper's "sending a joining message to at least one
+// rendezvous server". Servers are tried in order; a dead broker costs
+// one STUN/RPC timeout before the next is attempted.
+func (h *Host) JoinAny(p *sim.Proc, rdvs []netsim.Addr) error {
+	var lastErr error = ErrUnreachable
+	for _, addr := range rdvs {
+		if err := h.Join(p, addr); err == nil {
+			return nil
+		} else {
+			lastErr = err
+		}
+	}
+	return lastErr
+}
+
+// stun binding request over the main socket.
+func (h *Host) bindingRequest(p *sim.Proc, server netsim.Addr) (netsim.Addr, error) {
+	for try := 0; try < 3; try++ {
+		var got netsim.Addr
+		done := false
+		h.stunWait = func(m *stun.Message) {
+			got = m.Mapped
+			done = true
+			p.Unpark()
+		}
+		req := &stun.Message{Type: stun.TypeBindingRequest}
+		req.TxID[0] = byte(try + 1)
+		h.sock.SendTo(server, req.Marshal())
+		timer := sim.NewTimer(h.eng, func() {
+			if !done {
+				done = true
+				p.Unpark()
+			}
+		})
+		timer.Reset(time500ms)
+		for !done {
+			p.Park()
+		}
+		timer.Stop()
+		h.stunWait = nil
+		if !got.IsZero() {
+			return got, nil
+		}
+	}
+	return netsim.Addr{}, ErrUnreachable
+}
+
+const time500ms = 500 * sim.Millisecond
+
+// Lookup resolves a host record by name through the rendezvous layer.
+func (h *Host) Lookup(p *sim.Proc, name string) ([]rendezvous.HostRecord, error) {
+	if !h.joined {
+		return nil, ErrNotJoined
+	}
+	resp, err := h.rpc(p, &rendezvous.Msg{Kind: "lookup", Name: name})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Records, nil
+}
+
+// LookupAttrs queries hosts by resource-state point via the CAN.
+func (h *Host) LookupAttrs(p *sim.Proc, attrs can.Point) ([]rendezvous.HostRecord, error) {
+	if !h.joined {
+		return nil, ErrNotJoined
+	}
+	resp, err := h.rpc(p, &rendezvous.Msg{Kind: "lookup", Attrs: attrs})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Records, nil
+}
+
+// GroupQuery asks the rendezvous server's distance locator for k
+// mutually-near hosts.
+func (h *Host) GroupQuery(p *sim.Proc, k int) ([]string, error) {
+	if !h.joined {
+		return nil, ErrNotJoined
+	}
+	resp, err := h.rpc(p, &rendezvous.Msg{Kind: "group-query", Name: h.name, K: k})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Group, nil
+}
+
+// ReportRTTs uploads measured peer RTTs to the distance locator.
+func (h *Host) ReportRTTs(rtts map[string]sim.Duration) {
+	if !h.joined {
+		return
+	}
+	m := &rendezvous.Msg{Kind: "rtt-report", Name: h.name, RTTs: make(map[string]int64, len(rtts))}
+	for peer, d := range rtts {
+		m.RTTs[peer] = int64(d)
+	}
+	h.sock.SendTo(h.rdv, rendezvous.Encode(m))
+}
+
+// ConnectTo establishes a direct tunnel to the named peer via the
+// rendezvous layer and UDP hole punching, blocking until it is up.
+func (h *Host) ConnectTo(p *sim.Proc, peer string) (*Tunnel, error) {
+	if !h.joined {
+		return nil, ErrNotJoined
+	}
+	if t, ok := h.tunnels[peer]; ok && t.established {
+		return t, nil
+	}
+	// Wait for establishment triggered by the punch exchange. The
+	// connect request is retried a few times: the rendezvous message or
+	// punch-order can be lost under connection storms.
+	done := false
+	var rpcErr error
+	h.connWaiters[peer] = append(h.connWaiters[peer], func() {
+		done = true
+		p.Unpark()
+	})
+	attemptWindow := h.cfg.RPCTimeout/2 + sim.Duration(h.cfg.PunchTries)*h.cfg.PunchInterval
+	for attempt := 0; attempt < 3 && !done; attempt++ {
+		id := h.newWaiter(func(r *rendezvous.Msg) {
+			if r.Error != "" {
+				rpcErr = fmt.Errorf("core: connect: %s", r.Error)
+				done = true
+				p.Unpark()
+			}
+		})
+		h.sock.SendTo(h.rdv, rendezvous.Encode(&rendezvous.Msg{
+			Kind: "connect", ID: id, Name: h.name,
+			Peer: &rendezvous.HostRecord{Name: peer},
+		}))
+		deadline := sim.NewTimer(h.eng, func() {
+			if !done {
+				p.Unpark()
+			}
+		})
+		deadline.Reset(attemptWindow)
+		for !done && deadline.Active() {
+			p.Park()
+		}
+		deadline.Stop()
+		delete(h.waiters, id)
+		if rpcErr != nil {
+			return nil, rpcErr
+		}
+	}
+	if !done {
+		// Remove our stale waiter so a later punch does not unpark a
+		// dead process.
+		h.connWaiters[peer] = nil
+	}
+	t, ok := h.tunnels[peer]
+	if !ok || !t.established {
+		return nil, ErrPunchFailed
+	}
+	return t, nil
+}
+
+// Disconnect tears down the tunnel to a peer.
+func (h *Host) Disconnect(peer string) {
+	t, ok := h.tunnels[peer]
+	if !ok {
+		return
+	}
+	h.dropTunnel(t)
+}
+
+func (h *Host) dropTunnel(t *Tunnel) {
+	if t.pulser != nil {
+		t.pulser.Stop()
+	}
+	delete(h.tunnels, t.Peer)
+	// Relayed tunnels share the relay's address; only unmap our own.
+	if cur, ok := h.byAddr[t.Remote]; ok && cur == t {
+		delete(h.byAddr, t.Remote)
+	}
+	if t.relayChan != 0 {
+		delete(h.byChan, t.relayChan)
+	}
+	h.wswitch.ForgetPort(t)
+}
+
+// Leave shuts down the host's WAVNet participation.
+func (h *Host) Leave() {
+	for _, t := range h.Tunnels() {
+		h.dropTunnel(t)
+	}
+	if h.rdvTick != nil {
+		h.rdvTick.Stop()
+		h.rdvTick = nil
+	}
+	h.joined = false
+}

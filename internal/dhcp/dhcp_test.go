@@ -1,0 +1,371 @@
+package dhcp
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"wavnet/internal/ether"
+	"wavnet/internal/ipstack"
+	"wavnet/internal/netsim"
+	"wavnet/internal/sim"
+)
+
+// lanWorld is a bridge-connected L2 segment with a DHCP server and n
+// unconfigured client stacks.
+type lanWorld struct {
+	eng     *sim.Engine
+	br      *ether.Bridge
+	server  *Server
+	srvSt   *ipstack.Stack
+	clients []*Client
+	stacks  []*ipstack.Stack
+}
+
+func buildLAN(t *testing.T, nClients int, cfg ServerConfig) *lanWorld {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	br := ether.NewBridge(eng, "br0", 10*time.Microsecond)
+	w := &lanWorld{eng: eng, br: br}
+	w.srvSt = ipstack.New(eng, "dhcpd", br.AddPort("p0"), ether.SeqMAC(1),
+		netsim.MustParseIP("10.9.0.1"), ipstack.Config{})
+	if cfg.PoolStart == 0 {
+		cfg.PoolStart = netsim.MustParseIP("10.9.0.100")
+		cfg.PoolEnd = netsim.MustParseIP("10.9.0.109")
+	}
+	srv, err := NewServer(w.srvSt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.server = srv
+	for i := 0; i < nClients; i++ {
+		st := ipstack.New(eng, "client", br.AddPort("p"), ether.SeqMAC(uint32(10+i)), 0, ipstack.Config{})
+		cl, err := NewClient(st, ClientConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.stacks = append(w.stacks, st)
+		w.clients = append(w.clients, cl)
+	}
+	return w
+}
+
+// acquireAll runs Acquire on every client concurrently and returns the
+// outcomes after the world settles.
+func (w *lanWorld) acquireAll() ([]netsim.IP, []error) {
+	ips := make([]netsim.IP, len(w.clients))
+	errs := make([]error, len(w.clients))
+	for i, cl := range w.clients {
+		i, cl := i, cl
+		w.eng.Spawn("acquire", func(p *sim.Proc) {
+			ips[i], errs[i] = cl.Acquire(p)
+		})
+	}
+	w.eng.RunFor(40 * time.Second)
+	return ips, errs
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := &Message{
+		Op:          opRequest,
+		XID:         0xdeadbeef,
+		Secs:        3,
+		Flags:       broadcastFlag,
+		CIAddr:      netsim.MustParseIP("10.0.0.9"),
+		YIAddr:      netsim.MustParseIP("10.0.0.10"),
+		CHAddr:      ether.SeqMAC(7),
+		Type:        Request,
+		RequestedIP: netsim.MustParseIP("10.0.0.10"),
+		ServerID:    netsim.MustParseIP("10.0.0.1"),
+		LeaseSecs:   600,
+		SubnetMask:  netsim.MustParseIP("255.255.255.0"),
+		Router:      netsim.MustParseIP("10.0.0.1"),
+	}
+	got, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *m {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestPropertyMessageRoundTrip(t *testing.T) {
+	f := func(xid uint32, secs, flags uint16, ci, yi, req, sid uint32, lease uint32, typ uint8, mac [6]byte) bool {
+		m := &Message{
+			Op: opReply, XID: xid, Secs: secs, Flags: flags,
+			CIAddr: netsim.IP(ci), YIAddr: netsim.IP(yi),
+			CHAddr: ether.MAC(mac), Type: MsgType(typ%7 + 1),
+			RequestedIP: netsim.IP(req), ServerID: netsim.IP(sid),
+			LeaseSecs: lease,
+		}
+		got, err := Unmarshal(m.Marshal())
+		return err == nil && *got == *m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyUnmarshalNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		Unmarshal(b) // must not panic, error is fine
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalRejectsMalformed(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatal("nil input accepted")
+	}
+	m := (&Message{Op: opRequest, Type: Discover, CHAddr: ether.SeqMAC(1)}).Marshal()
+	m[headerLen-4] = 0 // corrupt cookie
+	if _, err := Unmarshal(m); err == nil {
+		t.Fatal("bad cookie accepted")
+	}
+	m = (&Message{Op: opRequest, Type: Discover}).Marshal()
+	if _, err := Unmarshal(m[:len(m)-4]); err == nil {
+		t.Fatal("truncated option accepted")
+	}
+	// A message whose options carry no type is rejected.
+	noType := make([]byte, headerLen+1)
+	copy(noType[headerLen-4:], magicCookie[:])
+	noType[headerLen] = optEnd
+	if _, err := Unmarshal(noType); err == nil {
+		t.Fatal("missing message type accepted")
+	}
+}
+
+func TestLeaseAcquisition(t *testing.T) {
+	w := buildLAN(t, 1, ServerConfig{})
+	ips, errs := w.acquireAll()
+	if errs[0] != nil {
+		t.Fatalf("acquire: %v", errs[0])
+	}
+	want := netsim.MustParseIP("10.9.0.100")
+	if ips[0] != want {
+		t.Fatalf("leased %v, want %v", ips[0], want)
+	}
+	if w.stacks[0].IP() != want {
+		t.Fatalf("stack not configured: %v", w.stacks[0].IP())
+	}
+	if n := len(w.server.Leases()); n != 1 {
+		t.Fatalf("server has %d leases, want 1", n)
+	}
+	// The configured stack is reachable: ping it from the server.
+	var rtt sim.Duration
+	var err error
+	w.eng.Spawn("ping", func(p *sim.Proc) {
+		rtt, err = w.srvSt.Ping(p, want, 56, 5*time.Second)
+	})
+	w.eng.RunFor(10 * time.Second)
+	if err != nil || rtt <= 0 {
+		t.Fatalf("leased address unreachable: rtt=%v err=%v", rtt, err)
+	}
+}
+
+func TestConcurrentClientsGetDistinctAddresses(t *testing.T) {
+	const n = 5
+	w := buildLAN(t, n, ServerConfig{})
+	ips, errs := w.acquireAll()
+	seen := make(map[netsim.IP]bool)
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if seen[ips[i]] {
+			t.Fatalf("address %v leased twice", ips[i])
+		}
+		seen[ips[i]] = true
+	}
+	if got := len(w.server.Leases()); got != n {
+		t.Fatalf("server has %d leases, want %d", got, n)
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	w := buildLAN(t, 3, ServerConfig{
+		PoolStart: netsim.MustParseIP("10.9.0.100"),
+		PoolEnd:   netsim.MustParseIP("10.9.0.101"), // two addresses, three clients
+	})
+	_, errs := w.acquireAll()
+	failures := 0
+	for _, err := range errs {
+		if err != nil {
+			if !errors.Is(err, ErrNoOffer) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			failures++
+		}
+	}
+	if failures != 1 {
+		t.Fatalf("%d clients failed, want exactly 1", failures)
+	}
+}
+
+func TestReleaseReturnsAddressToPool(t *testing.T) {
+	w := buildLAN(t, 2, ServerConfig{
+		PoolStart: netsim.MustParseIP("10.9.0.100"),
+		PoolEnd:   netsim.MustParseIP("10.9.0.100"), // single address
+	})
+	var ip0 netsim.IP
+	var err0 error
+	w.eng.Spawn("first", func(p *sim.Proc) {
+		ip0, err0 = w.clients[0].Acquire(p)
+		if err0 != nil {
+			return
+		}
+		p.Sleep(time.Second)
+		w.clients[0].Release()
+	})
+	w.eng.RunFor(10 * time.Second)
+	if err0 != nil {
+		t.Fatalf("first acquire: %v", err0)
+	}
+	if w.clients[0].Bound() || w.stacks[0].IP() != 0 {
+		t.Fatal("release did not deconfigure the first client")
+	}
+	var ip1 netsim.IP
+	var err1 error
+	w.eng.Spawn("second", func(p *sim.Proc) {
+		ip1, err1 = w.clients[1].Acquire(p)
+	})
+	w.eng.RunFor(20 * time.Second)
+	if err1 != nil {
+		t.Fatalf("second acquire: %v", err1)
+	}
+	if ip1 != ip0 {
+		t.Fatalf("released address not reused: got %v, want %v", ip1, ip0)
+	}
+}
+
+func TestRenewalKeepsLeaseAlive(t *testing.T) {
+	w := buildLAN(t, 1, ServerConfig{Lease: 20 * time.Second})
+	_, errs := w.acquireAll()
+	if errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	// Without renewals the 20 s lease would expire well within 2 min.
+	w.eng.RunFor(2 * time.Minute)
+	if !w.clients[0].Bound() {
+		t.Fatal("client lost its lease despite renewing")
+	}
+	if w.clients[0].Renewals < 5 {
+		t.Fatalf("only %d renewals in 2 min of a 20 s lease", w.clients[0].Renewals)
+	}
+	if n := len(w.server.Leases()); n != 1 {
+		t.Fatalf("server shows %d leases after renewals, want 1", n)
+	}
+}
+
+func TestLeaseExpiresWithoutRenewal(t *testing.T) {
+	w := buildLAN(t, 1, ServerConfig{Lease: 20 * time.Second})
+	_, errs := w.acquireAll()
+	if errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	// Kill the client's renewal loop (simulates a crashed host).
+	w.clients[0].Close()
+	w.eng.RunFor(time.Minute)
+	if n := len(w.server.Leases()); n != 0 {
+		t.Fatalf("server still holds %d leases after expiry", n)
+	}
+}
+
+func TestNakOnAddressLeasedToAnotherClient(t *testing.T) {
+	w := buildLAN(t, 1, ServerConfig{})
+	ips, errs := w.acquireAll()
+	if errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	// A rogue stack REQUESTs the address already leased to client 0.
+	eng := w.eng
+	rogue := ipstack.New(eng, "rogue", w.br.AddPort("rogue"),
+		ether.SeqMAC(99), 0, ipstack.Config{})
+	gotNak := false
+	sock, err := rogue.BindUDP(ClientPort, func(d ipstack.Datagram) {
+		if m, err := Unmarshal(d.Payload); err == nil && m.Type == Nak {
+			gotNak = true
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &Message{
+		Op: opRequest, XID: 42, Flags: broadcastFlag, CHAddr: ether.SeqMAC(99),
+		Type: Request, RequestedIP: ips[0], ServerID: w.srvSt.IP(),
+	}
+	sock.SendTo(netsim.Addr{IP: netsim.BroadcastIP, Port: ServerPort}, req.Marshal())
+	eng.RunFor(5 * time.Second)
+	if !gotNak {
+		t.Fatal("server did not NAK a REQUEST for another client's address")
+	}
+	if w.server.Naks == 0 {
+		t.Fatal("server NAK counter not incremented")
+	}
+}
+
+func TestAcquireSurvivesFrameLoss(t *testing.T) {
+	// 25% frame loss on the client's NIC: DISCOVER/REQUEST retransmit
+	// with backoff until the handshake lands.
+	eng := sim.NewEngine(3)
+	br := ether.NewBridge(eng, "br0", 10*time.Microsecond)
+	srvSt := ipstack.New(eng, "dhcpd", br.AddPort("s"), ether.SeqMAC(1),
+		netsim.MustParseIP("10.9.0.1"), ipstack.Config{})
+	if _, err := NewServer(srvSt, ServerConfig{
+		PoolStart: netsim.MustParseIP("10.9.0.100"),
+		PoolEnd:   netsim.MustParseIP("10.9.0.109"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	lossy := ether.Impair(br.AddPort("c"), 0.25, eng.Rand())
+	clientSt := ipstack.New(eng, "client", lossy, ether.SeqMAC(9), 0, ipstack.Config{})
+	client, err := NewClient(clientSt, ClientConfig{Tries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ip netsim.IP
+	var acqErr error
+	eng.Spawn("acquire", func(p *sim.Proc) {
+		ip, acqErr = client.Acquire(p)
+	})
+	eng.RunFor(10 * time.Minute)
+	if acqErr != nil {
+		t.Fatalf("acquire under loss: %v", acqErr)
+	}
+	if ip == 0 || clientSt.IP() != ip {
+		t.Fatalf("client not configured: ip=%v stack=%v", ip, clientSt.IP())
+	}
+	if client.DiscoversSent+client.RequestsSent <= 2 {
+		t.Fatal("no retransmissions under 25% loss — loss injection inert?")
+	}
+}
+
+func TestRediscoveryIsStable(t *testing.T) {
+	// A client that re-runs Acquire (e.g. after reboot) gets its old
+	// address back while the lease is still current.
+	w := buildLAN(t, 1, ServerConfig{})
+	ips, errs := w.acquireAll()
+	if errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	w.clients[0].Release()
+	// Re-acquire immediately: pool scan starts at the lowest free
+	// address, which is the one just released.
+	var again netsim.IP
+	var err error
+	w.eng.Spawn("re", func(p *sim.Proc) {
+		again, err = w.clients[0].Acquire(p)
+	})
+	w.eng.RunFor(20 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != ips[0] {
+		t.Fatalf("re-acquired %v, want original %v", again, ips[0])
+	}
+}

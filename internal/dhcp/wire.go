@@ -1,0 +1,226 @@
+// Package dhcp implements a DHCP server and client (RFC 2131 message
+// flow) running entirely on WAVNet's virtual link layer. The paper's
+// §II.B claims that once hosts are connected "as if to an Ethernet
+// switch ... protocols such as DHCP can be applied without any
+// modification"; this package is that claim made executable: an
+// unconfigured stack broadcasts DISCOVER through the tap, the Packet
+// Assembler tunnels it across the WAN, and a server on the far side of a
+// punched tunnel leases it an address.
+package dhcp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"wavnet/internal/ether"
+	"wavnet/internal/netsim"
+)
+
+// Well-known DHCP ports.
+const (
+	ServerPort = 67
+	ClientPort = 68
+)
+
+// Message op codes (BOOTP).
+const (
+	opRequest = 1 // client -> server
+	opReply   = 2 // server -> client
+)
+
+// MsgType is the DHCP message type (option 53).
+type MsgType uint8
+
+// DHCP message types.
+const (
+	Discover MsgType = 1
+	Offer    MsgType = 2
+	Request  MsgType = 3
+	Decline  MsgType = 4
+	Ack      MsgType = 5
+	Nak      MsgType = 6
+	Release  MsgType = 7
+)
+
+// String names the message type as tcpdump would.
+func (t MsgType) String() string {
+	switch t {
+	case Discover:
+		return "DISCOVER"
+	case Offer:
+		return "OFFER"
+	case Request:
+		return "REQUEST"
+	case Decline:
+		return "DECLINE"
+	case Ack:
+		return "ACK"
+	case Nak:
+		return "NAK"
+	case Release:
+		return "RELEASE"
+	}
+	return fmt.Sprintf("dhcp-type-%d", uint8(t))
+}
+
+// Option codes used on the virtual LAN.
+const (
+	optPad         = 0
+	optSubnetMask  = 1
+	optRouter      = 3
+	optRequestedIP = 50
+	optLeaseTime   = 51
+	optMsgType     = 53
+	optServerID    = 54
+	optEnd         = 255
+)
+
+// magicCookie marks the start of the options field (RFC 1497).
+var magicCookie = [4]byte{99, 130, 83, 99}
+
+// headerLen is the fixed BOOTP header: op..giaddr (44 bytes), chaddr
+// (16), sname (64), file (128), then the 4-byte cookie.
+const headerLen = 44 + 16 + 64 + 128 + 4
+
+// Message is a decoded DHCP message. Zero-valued fields are simply
+// absent on the wire.
+type Message struct {
+	Op    uint8
+	XID   uint32
+	Secs  uint16
+	Flags uint16
+
+	CIAddr netsim.IP // client's current address (renewals)
+	YIAddr netsim.IP // "your" address (server assignments)
+	SIAddr netsim.IP // next server
+	GIAddr netsim.IP // relay agent
+
+	CHAddr ether.MAC // client hardware address
+
+	// Options.
+	Type        MsgType
+	RequestedIP netsim.IP
+	ServerID    netsim.IP
+	LeaseSecs   uint32
+	SubnetMask  netsim.IP
+	Router      netsim.IP
+}
+
+// broadcastFlag is the RFC 2131 BROADCAST bit: the client cannot yet
+// receive unicast, so replies must be broadcast. Our clients always set
+// it (an unconfigured virtual stack has no address to unicast to).
+const broadcastFlag = 0x8000
+
+// Marshal encodes the message in RFC 2131 wire format.
+func (m *Message) Marshal() []byte {
+	opts := make([]byte, 0, 32)
+	opts = append(opts, optMsgType, 1, byte(m.Type))
+	put := func(code byte, ip netsim.IP) {
+		if ip == 0 {
+			return
+		}
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], uint32(ip))
+		opts = append(opts, code, 4)
+		opts = append(opts, b[:]...)
+	}
+	put(optRequestedIP, m.RequestedIP)
+	put(optServerID, m.ServerID)
+	put(optSubnetMask, m.SubnetMask)
+	put(optRouter, m.Router)
+	if m.LeaseSecs != 0 {
+		var b [4]byte
+		binary.BigEndian.PutUint32(b[:], m.LeaseSecs)
+		opts = append(opts, optLeaseTime, 4)
+		opts = append(opts, b[:]...)
+	}
+	opts = append(opts, optEnd)
+
+	b := make([]byte, headerLen+len(opts))
+	b[0] = m.Op
+	b[1] = 1 // htype: Ethernet
+	b[2] = 6 // hlen
+	binary.BigEndian.PutUint32(b[4:], m.XID)
+	binary.BigEndian.PutUint16(b[8:], m.Secs)
+	binary.BigEndian.PutUint16(b[10:], m.Flags)
+	binary.BigEndian.PutUint32(b[12:], uint32(m.CIAddr))
+	binary.BigEndian.PutUint32(b[16:], uint32(m.YIAddr))
+	binary.BigEndian.PutUint32(b[20:], uint32(m.SIAddr))
+	binary.BigEndian.PutUint32(b[24:], uint32(m.GIAddr))
+	copy(b[28:34], m.CHAddr[:])
+	copy(b[headerLen-4:], magicCookie[:])
+	copy(b[headerLen:], opts)
+	return b
+}
+
+// Unmarshal decodes a DHCP message; unknown options are skipped.
+func Unmarshal(b []byte) (*Message, error) {
+	if len(b) < headerLen {
+		return nil, errors.New("dhcp: short message")
+	}
+	if [4]byte(b[headerLen-4:headerLen]) != magicCookie {
+		return nil, errors.New("dhcp: bad magic cookie")
+	}
+	m := &Message{
+		Op:     b[0],
+		XID:    binary.BigEndian.Uint32(b[4:]),
+		Secs:   binary.BigEndian.Uint16(b[8:]),
+		Flags:  binary.BigEndian.Uint16(b[10:]),
+		CIAddr: netsim.IP(binary.BigEndian.Uint32(b[12:])),
+		YIAddr: netsim.IP(binary.BigEndian.Uint32(b[16:])),
+		SIAddr: netsim.IP(binary.BigEndian.Uint32(b[20:])),
+		GIAddr: netsim.IP(binary.BigEndian.Uint32(b[24:])),
+	}
+	copy(m.CHAddr[:], b[28:34])
+	opts := b[headerLen:]
+	for i := 0; i < len(opts); {
+		code := opts[i]
+		if code == optEnd {
+			break
+		}
+		if code == optPad {
+			i++
+			continue
+		}
+		if i+1 >= len(opts) {
+			return nil, errors.New("dhcp: truncated option")
+		}
+		n := int(opts[i+1])
+		if i+2+n > len(opts) {
+			return nil, errors.New("dhcp: truncated option value")
+		}
+		v := opts[i+2 : i+2+n]
+		switch code {
+		case optMsgType:
+			if n == 1 {
+				m.Type = MsgType(v[0])
+			}
+		case optRequestedIP:
+			if n == 4 {
+				m.RequestedIP = netsim.IP(binary.BigEndian.Uint32(v))
+			}
+		case optServerID:
+			if n == 4 {
+				m.ServerID = netsim.IP(binary.BigEndian.Uint32(v))
+			}
+		case optSubnetMask:
+			if n == 4 {
+				m.SubnetMask = netsim.IP(binary.BigEndian.Uint32(v))
+			}
+		case optRouter:
+			if n == 4 {
+				m.Router = netsim.IP(binary.BigEndian.Uint32(v))
+			}
+		case optLeaseTime:
+			if n == 4 {
+				m.LeaseSecs = binary.BigEndian.Uint32(v)
+			}
+		}
+		i += 2 + n
+	}
+	if m.Type == 0 {
+		return nil, errors.New("dhcp: missing message type")
+	}
+	return m, nil
+}

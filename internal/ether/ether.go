@@ -1,0 +1,201 @@
+// Package ether provides the link-layer building blocks of WAVNet's
+// virtual LAN: Ethernet frame and ARP codecs, a software bridge with MAC
+// learning (the Linux bridge of the paper's Figure 5), and the generic
+// learning table the WAV-Switch reuses to map MACs onto wide-area
+// tunnels.
+package ether
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"wavnet/internal/netsim"
+	"wavnet/internal/sim"
+)
+
+// MAC is a 48-bit Ethernet hardware address.
+type MAC [6]byte
+
+// Broadcast is the all-ones broadcast address.
+var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// String renders the address in colon-hex form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IsBroadcast reports whether m is the broadcast address.
+func (m MAC) IsBroadcast() bool { return m == Broadcast }
+
+// IsMulticast reports whether the group bit is set.
+func (m MAC) IsMulticast() bool { return m[0]&1 == 1 }
+
+// SeqMAC returns a locally-administered unicast MAC derived from a
+// sequence number, for deterministic address assignment.
+func SeqMAC(n uint32) MAC {
+	return MAC{0x02, 0x57, 0x41, byte(n >> 16), byte(n >> 8), byte(n)} // 02:57:41 = "WA"
+}
+
+// EtherType values used on the virtual LAN.
+const (
+	TypeIPv4 uint16 = 0x0800
+	TypeARP  uint16 = 0x0806
+)
+
+// HeaderLen is the Ethernet header size (no FCS is modeled).
+const HeaderLen = 14
+
+// Frame is a link-layer frame. Payload is not copied by the bridge;
+// receivers must treat frames as immutable.
+type Frame struct {
+	Dst, Src MAC
+	Type     uint16
+	Payload  []byte
+}
+
+// WireLen returns the frame's size on the wire.
+func (f *Frame) WireLen() int { return HeaderLen + len(f.Payload) }
+
+// Marshal encodes the frame for tunneling.
+func (f *Frame) Marshal() []byte {
+	b := make([]byte, HeaderLen+len(f.Payload))
+	copy(b[0:6], f.Dst[:])
+	copy(b[6:12], f.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], f.Type)
+	copy(b[HeaderLen:], f.Payload)
+	return b
+}
+
+// UnmarshalFrame decodes a tunneled frame. The payload aliases b.
+func UnmarshalFrame(b []byte) (*Frame, error) {
+	if len(b) < HeaderLen {
+		return nil, errors.New("ether: short frame")
+	}
+	f := &Frame{Type: binary.BigEndian.Uint16(b[12:14]), Payload: b[HeaderLen:]}
+	copy(f.Dst[:], b[0:6])
+	copy(f.Src[:], b[6:12])
+	return f, nil
+}
+
+// ARP operation codes.
+const (
+	ARPRequest uint16 = 1
+	ARPReply   uint16 = 2
+)
+
+// ARP is an ARP packet for IPv4-over-Ethernet. Gratuitous ARP (the
+// mechanism that re-points peers after VM live migration) sets
+// SenderIP == TargetIP and broadcasts.
+type ARP struct {
+	Op        uint16
+	SenderMAC MAC
+	SenderIP  netsim.IP
+	TargetMAC MAC
+	TargetIP  netsim.IP
+}
+
+const arpLen = 28
+
+// Marshal encodes the ARP packet (fixed Ethernet/IPv4 hardware and
+// protocol types).
+func (a *ARP) Marshal() []byte {
+	b := make([]byte, arpLen)
+	binary.BigEndian.PutUint16(b[0:], 1)      // HTYPE Ethernet
+	binary.BigEndian.PutUint16(b[2:], 0x0800) // PTYPE IPv4
+	b[4], b[5] = 6, 4                         // HLEN, PLEN
+	binary.BigEndian.PutUint16(b[6:], a.Op)
+	copy(b[8:14], a.SenderMAC[:])
+	binary.BigEndian.PutUint32(b[14:], uint32(a.SenderIP))
+	copy(b[18:24], a.TargetMAC[:])
+	binary.BigEndian.PutUint32(b[24:], uint32(a.TargetIP))
+	return b
+}
+
+// UnmarshalARP decodes an ARP packet.
+func UnmarshalARP(b []byte) (*ARP, error) {
+	if len(b) < arpLen {
+		return nil, errors.New("ether: short ARP")
+	}
+	a := &ARP{
+		Op:       binary.BigEndian.Uint16(b[6:]),
+		SenderIP: netsim.IP(binary.BigEndian.Uint32(b[14:])),
+		TargetIP: netsim.IP(binary.BigEndian.Uint32(b[24:])),
+	}
+	copy(a.SenderMAC[:], b[8:14])
+	copy(a.TargetMAC[:], b[18:24])
+	return a, nil
+}
+
+// GratuitousARP builds the broadcast announcement a VMM injects when a
+// migrated VM resumes.
+func GratuitousARP(mac MAC, ip netsim.IP) *Frame {
+	arp := &ARP{Op: ARPRequest, SenderMAC: mac, SenderIP: ip, TargetMAC: MAC{}, TargetIP: ip}
+	return &Frame{Dst: Broadcast, Src: mac, Type: TypeARP, Payload: arp.Marshal()}
+}
+
+// MACTable is a learning table with entry aging, generic over the port
+// type so both the software bridge and the WAV-Switch can use it.
+type MACTable[P comparable] struct {
+	eng     *sim.Engine
+	AgeTime sim.Duration
+	entries map[MAC]*macEntry[P]
+}
+
+type macEntry[P comparable] struct {
+	port P
+	seen sim.Time
+}
+
+// NewMACTable creates a table; ageTime <= 0 selects 300 s (the Linux
+// bridge default).
+func NewMACTable[P comparable](eng *sim.Engine, ageTime sim.Duration) *MACTable[P] {
+	if ageTime <= 0 {
+		ageTime = 300 * sim.Second
+	}
+	return &MACTable[P]{eng: eng, AgeTime: ageTime, entries: make(map[MAC]*macEntry[P])}
+}
+
+// Learn records that mac was seen on port.
+func (t *MACTable[P]) Learn(mac MAC, port P) {
+	if mac.IsMulticast() {
+		return
+	}
+	e, ok := t.entries[mac]
+	if !ok {
+		e = &macEntry[P]{}
+		t.entries[mac] = e
+	}
+	e.port = port
+	e.seen = t.eng.Now()
+}
+
+// Lookup returns the port mac was last seen on, if the entry is fresh.
+func (t *MACTable[P]) Lookup(mac MAC) (P, bool) {
+	var zero P
+	e, ok := t.entries[mac]
+	if !ok {
+		return zero, false
+	}
+	if t.eng.Now().Sub(e.seen) > t.AgeTime {
+		delete(t.entries, mac)
+		return zero, false
+	}
+	return e.port, true
+}
+
+// Forget drops the entry for mac.
+func (t *MACTable[P]) Forget(mac MAC) { delete(t.entries, mac) }
+
+// ForgetPort drops every entry pointing at port (used when a tunnel or
+// bridge port goes away).
+func (t *MACTable[P]) ForgetPort(port P) {
+	for mac, e := range t.entries {
+		if e.port == port {
+			delete(t.entries, mac)
+		}
+	}
+}
+
+// Len reports the number of live entries (without aging them).
+func (t *MACTable[P]) Len() int { return len(t.entries) }

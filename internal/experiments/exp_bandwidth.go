@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"wavnet/internal/apps"
+	"wavnet/internal/ipstack"
+	"wavnet/internal/netsim"
+	"wavnet/internal/scenario"
+	"wavnet/internal/sim"
+)
+
+// Figure6Row is one ttcp transfer-size measurement (rate in KB/s).
+type Figure6Row struct {
+	SizeMB                 int
+	Physical, WAVNet, IPOP float64
+}
+
+// Figure6Result reproduces the TTCP bar chart.
+type Figure6Result struct{ Rows []Figure6Row }
+
+// String renders the series.
+func (r *Figure6Result) String() string {
+	t := table{
+		title:  "Figure 6 — TTCP benchmarking over WAN HKU-SIAT (transfer rate, KB/s; buf 16384 B)",
+		header: []string{"Transfer", "Physical", "WAVNet", "IPOP"},
+	}
+	for _, row := range r.Rows {
+		t.addRow(fmt.Sprintf("%dMB", row.SizeMB), msf(row.Physical), msf(row.WAVNet), msf(row.IPOP))
+	}
+	t.notes = append(t.notes,
+		"paper shape: both VPNs reach 57-85% of physical; WAVNet above IPOP in every case")
+	return t.String()
+}
+
+// Figure6 runs ttcp for 64/128/256 MB between HKU and SIAT on all three
+// paths (quick mode scales sizes by 1/8).
+func Figure6(o Options) (*Figure6Result, error) {
+	o = o.withDefaults()
+	w, err := scenario.Build(o.Seed, scenario.RealWANSpecs(), scenario.RealWANOverrides())
+	if err != nil {
+		return nil, err
+	}
+	if err := w.WAVNetUp("HKU1", "SIAT"); err != nil {
+		return nil, err
+	}
+	if err := w.IPOPUp("HKU1", "SIAT"); err != nil {
+		return nil, err
+	}
+	hku, siat := w.M("HKU1"), w.M("SIAT")
+	pa, pb, err := w.PhysicalPair(hku, siat)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := apps.StartSink(pb, 5001); err != nil {
+		return nil, err
+	}
+	if _, err := apps.StartSink(siat.Dom0(), 5001); err != nil {
+		return nil, err
+	}
+	if _, err := apps.StartSink(siat.IPOP.Dom0(), 5001); err != nil {
+		return nil, err
+	}
+
+	res := &Figure6Result{}
+	for _, sizeMB := range []int{64, 128, 256} {
+		bytes := o.scaledBytes(int64(sizeMB)<<20/8, int64(sizeMB)<<20)
+		row := Figure6Row{SizeMB: sizeMB}
+		runs := []struct {
+			name string
+			run  func() (float64, error)
+		}{
+			{"physical", func() (float64, error) { return ttcpOnce(w, pa, netsim.Addr{IP: pb.IP(), Port: 5001}, bytes) }},
+			{"wavnet", func() (float64, error) {
+				return ttcpOnce(w, hku.Dom0(), netsim.Addr{IP: siat.VIP, Port: 5001}, bytes)
+			}},
+			{"ipop", func() (float64, error) {
+				return ttcpOnce(w, hku.IPOP.Dom0(), netsim.Addr{IP: siat.IPOPVIP, Port: 5001}, bytes)
+			}},
+		}
+		vals := make([]float64, 3)
+		for i, r := range runs {
+			v, err := r.run()
+			if err != nil {
+				return nil, fmt.Errorf("figure6 %s %dMB: %w", r.name, sizeMB, err)
+			}
+			vals[i] = v
+		}
+		row.Physical, row.WAVNet, row.IPOP = vals[0], vals[1], vals[2]
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func ttcpOnce(w *scenario.World, src *ipstack.Stack, dst netsim.Addr, bytes int64) (float64, error) {
+	var rate float64
+	var err error
+	done := false
+	w.Eng.Spawn("ttcp", func(p *sim.Proc) {
+		var r *apps.TTCPResult
+		r, err = apps.TTCP(p, src, dst, bytes, 16384)
+		if r != nil {
+			rate = r.KBps
+		}
+		done = true
+	})
+	w.Eng.RunFor(60 * time.Minute)
+	if !done {
+		return 0, fmt.Errorf("ttcp did not finish")
+	}
+	return rate, err
+}
+
+// Figure7Row is one shaped-bandwidth point.
+type Figure7Row struct {
+	WANMbps                float64
+	Physical, WAVNet, IPOP float64 // measured Mbps
+}
+
+// Figure7Result reproduces the relative-bandwidth chart.
+type Figure7Result struct{ Rows []Figure7Row }
+
+// String renders measured and relative bandwidth.
+func (r *Figure7Result) String() string {
+	t := table{
+		title:  "Figure 7 — bandwidth utilization under different WAN conditions (relative to physical)",
+		header: []string{"WAN Mbps", "Physical", "WAVNet", "IPOP", "WAVNet rel", "IPOP rel"},
+	}
+	for _, row := range r.Rows {
+		t.addRow(mbps(row.WANMbps), mbps(row.Physical), mbps(row.WAVNet), mbps(row.IPOP),
+			fmt.Sprintf("%.2f", row.WAVNet/row.Physical), fmt.Sprintf("%.2f", row.IPOP/row.Physical))
+	}
+	t.notes = append(t.notes,
+		"paper shape: WAVNet near native at every rate; IPOP adequate when congested but <20% of native at 100 Mbps")
+	return t.String()
+}
+
+// Figure7 shapes the emulated WAN to 6.25..100 Mbps and measures netperf
+// TCP_STREAM on each path.
+func Figure7(o Options) (*Figure7Result, error) {
+	o = o.withDefaults()
+	duration := o.scaled(15*time.Second, 360*time.Second)
+	res := &Figure7Result{}
+	for _, wan := range []float64{6.25e6, 12.5e6, 25e6, 50e6, 100e6} {
+		w, err := scenario.Build(o.Seed, scenario.EmulatedWANSpecs(2, wan), nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := w.WAVNetUp(); err != nil {
+			return nil, err
+		}
+		if err := w.IPOPUp(); err != nil {
+			return nil, err
+		}
+		a, b := w.Machines[0], w.Machines[1]
+		pa, pb, err := w.PhysicalPair(a, b)
+		if err != nil {
+			return nil, err
+		}
+		// The paper measures each path in a separate netperf run; running
+		// the three flows concurrently would make them contend for the
+		// same shaped WAN link and skew every number.
+		row := Figure7Row{WANMbps: wan / 1e6}
+		phys, err := apps.StartNetperf(pa, pb, 5001, duration, duration)
+		if err != nil {
+			return nil, err
+		}
+		w.Eng.RunFor(duration + 2*time.Minute)
+		wav, err := apps.StartNetperf(a.Dom0(), b.Dom0(), 5002, duration, duration)
+		if err != nil {
+			return nil, err
+		}
+		w.Eng.RunFor(duration + 2*time.Minute)
+		ipp, err := apps.StartNetperf(a.IPOP.Dom0(), b.IPOP.Dom0(), 5003, duration, duration)
+		if err != nil {
+			return nil, err
+		}
+		w.Eng.RunFor(duration + 2*time.Minute)
+		if phys.Err != nil || wav.Err != nil || ipp.Err != nil {
+			return nil, fmt.Errorf("figure7 %g: %v %v %v", wan, phys.Err, wav.Err, ipp.Err)
+		}
+		row.Physical, row.WAVNet, row.IPOP = phys.Mbps(), wav.Mbps(), ipp.Mbps()
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Figure8Row is one cluster-size scalability point.
+type Figure8Row struct {
+	Nodes            int
+	Physical, WAVNet float64 // mean Mbps from the probe node to the rest
+	IPOP             float64
+}
+
+// Figure8Result reproduces the scalability chart.
+type Figure8Result struct{ Rows []Figure8Row }
+
+// String renders the series.
+func (r *Figure8Result) String() string {
+	t := table{
+		title:  "Figure 8 — Netperf while scaling virtual cluster size (mean Mbps, probe node to peers)",
+		header: []string{"Nodes", "Physical", "WAVNet", "IPOP"},
+	}
+	for _, row := range r.Rows {
+		t.addRow(fmt.Sprintf("%d", row.Nodes), mbps(row.Physical), mbps(row.WAVNet), mbps(row.IPOP))
+	}
+	t.notes = append(t.notes,
+		"paper shape: WAVNet flat as the cluster grows (keepalives are negligible); IPOP degrades with size")
+	return t.String()
+}
+
+// Figure8 builds clusters of 8..64 hosts with a full WAVNet mesh (5 s
+// CONNECT_PULSE keepalives on every tunnel), then measures sequential
+// netperf runs from one probe node to a sample of peers.
+func Figure8(o Options) (*Figure8Result, error) {
+	o = o.withDefaults()
+	sizes := []int{8, 16, 24, 32, 48, 64}
+	if o.Quick {
+		sizes = []int{8, 16, 32, 64}
+	}
+	duration := o.scaled(3*time.Second, 10*time.Second)
+	res := &Figure8Result{}
+	for _, n := range sizes {
+		w, err := scenario.Build(o.Seed, scenario.EmulatedWANSpecs(n, 100e6), nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := w.WAVNetUp(); err != nil {
+			return nil, err
+		}
+		if err := w.IPOPUp(); err != nil {
+			return nil, err
+		}
+		probe := w.Machines[0]
+		// Sample peers to keep runtime bounded: every peer for small
+		// clusters, eight spread peers for big ones.
+		peers := w.Machines[1:]
+		if len(peers) > 8 {
+			step := len(peers) / 8
+			var sampled []*scenario.Machine
+			for i := 0; i < len(peers); i += step {
+				sampled = append(sampled, peers[i])
+			}
+			peers = sampled[:8]
+		}
+		var physSum, wavSum, ipopSum float64
+		for pi, peer := range peers {
+			pa, pb, err := w.PhysicalPair(probe, peer)
+			if err != nil {
+				return nil, err
+			}
+			port := uint16(6000 + pi*4)
+			phys, err := apps.StartNetperf(pa, pb, port, duration, duration)
+			if err != nil {
+				return nil, err
+			}
+			w.Eng.RunFor(duration + 20*time.Second)
+			wav, err := apps.StartNetperf(probe.Dom0(), peer.Dom0(), port+1, duration, duration)
+			if err != nil {
+				return nil, err
+			}
+			w.Eng.RunFor(duration + 20*time.Second)
+			ipp, err := apps.StartNetperf(probe.IPOP.Dom0(), peer.IPOP.Dom0(), port+2, duration, duration)
+			if err != nil {
+				return nil, err
+			}
+			w.Eng.RunFor(duration + 20*time.Second)
+			if phys.Err != nil || wav.Err != nil || ipp.Err != nil {
+				return nil, fmt.Errorf("figure8 n=%d peer %s: %v %v %v", n, peer.Key, phys.Err, wav.Err, ipp.Err)
+			}
+			physSum += phys.Mbps()
+			wavSum += wav.Mbps()
+			ipopSum += ipp.Mbps()
+		}
+		k := float64(len(peers))
+		res.Rows = append(res.Rows, Figure8Row{
+			Nodes: n, Physical: physSum / k, WAVNet: wavSum / k, IPOP: ipopSum / k,
+		})
+	}
+	return res, nil
+}

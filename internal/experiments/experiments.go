@@ -1,0 +1,142 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section III). Each driver builds its scenario, runs the
+// measurement end-to-end on the simulated substrate, and returns a typed
+// result whose String() renders a paper-style table; cmd/wavnet-bench
+// and the repository-root benchmarks are thin wrappers around these
+// functions.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wavnet/internal/sim"
+)
+
+// Options tunes experiment cost. Quick mode shrinks durations and
+// transfer sizes (the defaults used by `go test -bench`); Paper mode
+// uses the paper's parameters where tractable.
+type Options struct {
+	Seed int64
+	// Quick selects reduced durations/sizes (default true).
+	Quick bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// scaled returns q in quick mode, p otherwise.
+func (o Options) scaled(q, p sim.Duration) sim.Duration {
+	if o.Quick {
+		return q
+	}
+	return p
+}
+
+func (o Options) scaledBytes(q, p int64) int64 {
+	if o.Quick {
+		return q
+	}
+	return p
+}
+
+// Runner is a registered experiment.
+type Runner struct {
+	ID    string // "table2", "figure6", ...
+	Title string
+	Run   func(Options) (fmt.Stringer, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Runner {
+	return []Runner{
+		{"table1", "Table I: host configuration (topology definition)", func(o Options) (fmt.Stringer, error) { return TableI(o) }},
+		{"table2", "Table II: network latency by ICMP request/response", func(o Options) (fmt.Stringer, error) { return TableII(o) }},
+		{"figure6", "Figure 6: TTCP bandwidth benchmark over WAN (HKU-SIAT)", func(o Options) (fmt.Stringer, error) { return Figure6(o) }},
+		{"figure7", "Figure 7: bandwidth utilization under different network conditions", func(o Options) (fmt.Stringer, error) { return Figure7(o) }},
+		{"figure8", "Figure 8: Netperf performance while scaling virtual cluster size", func(o Options) (fmt.Stringer, error) { return Figure8(o) }},
+		{"figure9", "Figure 9: VM network bandwidth during live migration", func(o Options) (fmt.Stringer, error) { return Figure9(o) }},
+		{"table3", "Table III: HTTP connection time before/after VM migration", func(o Options) (fmt.Stringer, error) { return TableIII(o) }},
+		{"table4", "Table IV: HTTP throughput before/after VM migration", func(o Options) (fmt.Stringer, error) { return TableIV(o) }},
+		{"figure10", "Figure 10: ICMP RTT and HTTP throughput during live migration", func(o Options) (fmt.Stringer, error) { return Figure10(o) }},
+		{"table5", "Table V: time of VM live migration among different sites", func(o Options) (fmt.Stringer, error) { return TableV(o) }},
+		{"figure11", "Figure 11: MPICH heat distribution with/without VM migration", func(o Options) (fmt.Stringer, error) { return Figure11(o) }},
+		{"figure12", "Figure 12: network latency reported on PlanetLab (400 hosts)", func(o Options) (fmt.Stringer, error) { return Figure12(o) }},
+		{"figure13", "Figure 13: average and maximum latency within virtual cluster", func(o Options) (fmt.Stringer, error) { return Figure13(o) }},
+		{"figure14", "Figure 14: locality-sensitive vs random selection (NAS EP/FT)", func(o Options) (fmt.Stringer, error) { return Figure14(o) }},
+	}
+}
+
+// ByID resolves a runner.
+func ByID(id string) (Runner, bool) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// ---- rendering helpers ----
+
+type table struct {
+	title  string
+	header []string
+	rows   [][]string
+	notes  []string
+}
+
+func (t *table) addRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	for _, n := range t.notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func ms(d sim.Duration) string   { return fmt.Sprintf("%.3f", float64(d)/1e6) }
+func msf(v float64) string       { return fmt.Sprintf("%.1f", v) }
+func mbps(v float64) string      { return fmt.Sprintf("%.2f", v) }
+func secs(d sim.Duration) string { return fmt.Sprintf("%.1f", d.Seconds()) }
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

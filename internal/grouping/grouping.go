@@ -1,0 +1,197 @@
+// Package grouping implements the locality-sensitive host selection of
+// WAVNet §II.D: given an N×N matrix of mutual network latencies, pick k
+// hosts minimizing the mean pairwise latency (Formula (1) of the paper).
+//
+// Three selectors are provided: the paper's O(N·k) sorted-row
+// approximation, exact brute force (for validation at small N), and
+// random selection (the baseline of Figure 14).
+package grouping
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"wavnet/internal/sim"
+)
+
+// ErrTooFewHosts is returned when k exceeds the candidate count.
+var ErrTooFewHosts = errors.New("grouping: not enough candidate hosts")
+
+// MeanLatency evaluates Formula (1): the average latency over all
+// unordered pairs of the selected hosts.
+func MeanLatency(rtts [][]sim.Duration, group []int) sim.Duration {
+	if len(group) < 2 {
+		return 0
+	}
+	var sum sim.Duration
+	pairs := 0
+	for i := 0; i < len(group); i++ {
+		for j := i + 1; j < len(group); j++ {
+			sum += rtts[group[i]][group[j]]
+			pairs++
+		}
+	}
+	return sum / sim.Duration(pairs)
+}
+
+// MaxLatency reports the largest pairwise latency within the group (the
+// upper bound curve of Figure 13).
+func MaxLatency(rtts [][]sim.Duration, group []int) sim.Duration {
+	var max sim.Duration
+	for i := 0; i < len(group); i++ {
+		for j := i + 1; j < len(group); j++ {
+			if rtts[group[i]][group[j]] > max {
+				max = rtts[group[i]][group[j]]
+			}
+		}
+	}
+	return max
+}
+
+func validate(rtts [][]sim.Duration, k int) (int, error) {
+	n := len(rtts)
+	for i, row := range rtts {
+		if len(row) != n {
+			return 0, fmt.Errorf("grouping: matrix row %d has %d entries, want %d", i, len(row), n)
+		}
+	}
+	if k < 2 || k > n {
+		return 0, ErrTooFewHosts
+	}
+	return n, nil
+}
+
+// LocalitySensitive runs the paper's approximation: for each host (row),
+// sort its latencies ascending and take the k nearest hosts (the
+// "k+1-group" including the host itself); generate k candidate k-groups
+// per row by keeping the host and leaving one of its k nearest out;
+// filter candidates containing an unreasonably large edge; return the
+// candidate with minimal mean latency. The number of candidate
+// evaluations is O(N·k).
+func LocalitySensitive(rtts [][]sim.Duration, k int) ([]int, error) {
+	return LocalitySensitiveFiltered(rtts, k, 0)
+}
+
+// LocalitySensitiveFiltered is LocalitySensitive with an explicit edge
+// cutoff: candidate groups containing a pairwise latency above maxEdge
+// are discarded (0 disables the filter, falling back to the best
+// remaining candidate as the paper's "reasonable connection" check).
+func LocalitySensitiveFiltered(rtts [][]sim.Duration, k int, maxEdge sim.Duration) ([]int, error) {
+	n, err := validate(rtts, k)
+	if err != nil {
+		return nil, err
+	}
+	if k == n {
+		// Selecting everyone: no candidate generation needed (each row's
+		// k+1-group would need n+1 hosts).
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	}
+	type cand struct {
+		group []int
+		mean  sim.Duration
+	}
+	var best *cand    // best candidate passing the filter
+	var bestAny *cand // best candidate overall (fallback)
+	order := make([]int, n)
+
+	for row := 0; row < n; row++ {
+		// Sort hosts by latency from this row's host (the sorted-row
+		// invariant the locator maintains incrementally in the paper).
+		for i := range order {
+			order[i] = i
+		}
+		r := row
+		sort.SliceStable(order, func(a, b int) bool {
+			if order[a] == r {
+				return true // self first (latency 0)
+			}
+			if order[b] == r {
+				return false
+			}
+			return rtts[r][order[a]] < rtts[r][order[b]]
+		})
+		// k+1-group: this host plus its k nearest.
+		if n < k+1 {
+			continue
+		}
+		kp1 := order[:k+1]
+		// k candidates: keep the row host, drop one of the k nearest.
+		for drop := 1; drop <= k; drop++ {
+			group := make([]int, 0, k)
+			for i, h := range kp1 {
+				if i == drop {
+					continue
+				}
+				group = append(group, h)
+			}
+			mean := MeanLatency(rtts, group)
+			maxE := MaxLatency(rtts, group)
+			c := &cand{group: group, mean: mean}
+			if bestAny == nil || mean < bestAny.mean {
+				bestAny = c
+			}
+			if maxEdge > 0 && maxE > maxEdge {
+				continue
+			}
+			if best == nil || mean < best.mean {
+				best = c
+			}
+		}
+	}
+	if best == nil {
+		best = bestAny
+	}
+	if best == nil {
+		return nil, ErrTooFewHosts
+	}
+	out := append([]int(nil), best.group...)
+	sort.Ints(out)
+	return out, nil
+}
+
+// BruteForce finds the exact optimum by enumerating all C(N,k) groups.
+// Exponential; use only for validation at small N.
+func BruteForce(rtts [][]sim.Duration, k int) ([]int, error) {
+	n, err := validate(rtts, k)
+	if err != nil {
+		return nil, err
+	}
+	var best []int
+	var bestMean sim.Duration = 1 << 62
+	group := make([]int, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			if m := MeanLatency(rtts, group); m < bestMean {
+				bestMean = m
+				best = append(best[:0:0], group...)
+			}
+			return
+		}
+		for i := start; i <= n-(k-depth); i++ {
+			group[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	return best, nil
+}
+
+// Random selects k distinct hosts uniformly — the baseline cluster
+// construction of Figure 14.
+func Random(rtts [][]sim.Duration, k int, rng *rand.Rand) ([]int, error) {
+	n, err := validate(rtts, k)
+	if err != nil {
+		return nil, err
+	}
+	perm := rng.Perm(n)
+	out := append([]int(nil), perm[:k]...)
+	sort.Ints(out)
+	return out, nil
+}

@@ -1,0 +1,162 @@
+package grouping
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"wavnet/internal/sim"
+)
+
+// clusteredMatrix builds n hosts in nClusters tight clusters: intra ~2ms,
+// inter ~100ms.
+func clusteredMatrix(n, nClusters int, seed int64) [][]sim.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	m := make([][]sim.Duration, n)
+	for i := range m {
+		m[i] = make([]sim.Duration, n)
+	}
+	cluster := make([]int, n)
+	for i := range cluster {
+		cluster[i] = i % nClusters
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			var ms float64
+			if cluster[i] == cluster[j] {
+				ms = 1 + rng.Float64()*2
+			} else {
+				ms = 80 + rng.Float64()*60
+			}
+			d := sim.Duration(ms * float64(time.Millisecond))
+			m[i][j], m[j][i] = d, d
+		}
+	}
+	return m
+}
+
+func TestMeanMaxLatency(t *testing.T) {
+	m := [][]sim.Duration{
+		{0, 10 * time.Millisecond, 20 * time.Millisecond},
+		{10 * time.Millisecond, 0, 30 * time.Millisecond},
+		{20 * time.Millisecond, 30 * time.Millisecond, 0},
+	}
+	g := []int{0, 1, 2}
+	if MeanLatency(m, g) != 20*time.Millisecond {
+		t.Fatalf("mean = %v", MeanLatency(m, g))
+	}
+	if MaxLatency(m, g) != 30*time.Millisecond {
+		t.Fatalf("max = %v", MaxLatency(m, g))
+	}
+	if MeanLatency(m, []int{0}) != 0 {
+		t.Fatal("singleton mean should be 0")
+	}
+}
+
+func TestLocalityFindsCluster(t *testing.T) {
+	m := clusteredMatrix(40, 4, 1)
+	for _, k := range []int{4, 8, 10} {
+		g, err := LocalitySensitive(m, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(g) != k {
+			t.Fatalf("k=%d returned %d hosts", k, len(g))
+		}
+		// All selected hosts should share one cluster (10 hosts each).
+		first := g[0] % 4
+		for _, h := range g {
+			if h%4 != first {
+				t.Fatalf("k=%d group spans clusters: %v", k, g)
+			}
+		}
+	}
+}
+
+func TestLocalityNearOptimal(t *testing.T) {
+	m := clusteredMatrix(14, 3, 2)
+	for _, k := range []int{3, 4} {
+		approx, err := LocalitySensitive(m, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := BruteForce(m, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		am, em := MeanLatency(m, approx), MeanLatency(m, exact)
+		if am > 3*em {
+			t.Fatalf("k=%d approximation %v far from optimum %v", k, am, em)
+		}
+	}
+}
+
+func TestLocalityBeatsRandom(t *testing.T) {
+	m := clusteredMatrix(60, 5, 3)
+	rng := rand.New(rand.NewSource(4))
+	loc, err := LocalitySensitive(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worse := 0
+	for trial := 0; trial < 20; trial++ {
+		rnd, err := Random(m, 8, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if MeanLatency(m, rnd) > MeanLatency(m, loc) {
+			worse++
+		}
+	}
+	if worse < 18 {
+		t.Fatalf("random beat locality-sensitive in %d/20 trials", 20-worse)
+	}
+}
+
+func TestEdgeFilter(t *testing.T) {
+	m := clusteredMatrix(20, 2, 5)
+	g, err := LocalitySensitiveFiltered(m, 5, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxLatency(m, g) > 10*time.Millisecond {
+		t.Fatalf("filtered group has edge %v > cutoff", MaxLatency(m, g))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	m := clusteredMatrix(5, 1, 6)
+	if _, err := LocalitySensitive(m, 6); err == nil {
+		t.Fatal("k > N accepted")
+	}
+	if _, err := LocalitySensitive(m, 1); err == nil {
+		t.Fatal("k < 2 accepted")
+	}
+	bad := [][]sim.Duration{{0}, {0, 0}}
+	if _, err := LocalitySensitive(bad, 2); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+	if _, err := BruteForce(m, 9); err == nil {
+		t.Fatal("brute force k > N accepted")
+	}
+	if _, err := Random(m, 9, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("random k > N accepted")
+	}
+}
+
+func TestBruteForceExactOnTiny(t *testing.T) {
+	// Hand-built: hosts 0,1 at 1ms; host 2 at 100ms from both.
+	ms := func(v float64) sim.Duration { return sim.Duration(v * float64(time.Millisecond)) }
+	m := [][]sim.Duration{
+		{0, ms(1), ms(100)},
+		{ms(1), 0, ms(100)},
+		{ms(100), ms(100), 0},
+	}
+	g, err := BruteForce(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g) != 2 || g[0] != 0 || g[1] != 1 {
+		t.Fatalf("brute force picked %v, want [0 1]", g)
+	}
+}

@@ -1,0 +1,126 @@
+package grouping
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wavnet/internal/sim"
+)
+
+// randMatrix builds a random symmetric latency matrix from quick's
+// source material.
+func randMatrix(rng *rand.Rand, n int) [][]sim.Duration {
+	m := make([][]sim.Duration, n)
+	for i := range m {
+		m[i] = make([]sim.Duration, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := sim.Duration(1+rng.Intn(400)) * sim.Millisecond
+			m[i][j], m[j][i] = d, d
+		}
+	}
+	return m
+}
+
+func TestPropertyGroupIsValidSelection(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := 3 + int(nRaw)%30 // 3..32
+		k := 2 + int(kRaw)%(n-1)
+		rng := rand.New(rand.NewSource(seed))
+		m := randMatrix(rng, n)
+		g, err := LocalitySensitive(m, k)
+		if err != nil {
+			return false
+		}
+		if len(g) != k {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, idx := range g {
+			if idx < 0 || idx >= n || seen[idx] {
+				return false
+			}
+			seen[idx] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyBruteForceLowerBoundsApproximation(t *testing.T) {
+	// The O(N·k) approximation can never beat the exhaustive optimum.
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := 4 + int(nRaw)%5 // 4..8 (brute force stays cheap)
+		k := 2 + int(kRaw)%3 // 2..4
+		if k >= n {
+			k = n - 1
+		}
+		rng := rand.New(rand.NewSource(seed))
+		m := randMatrix(rng, n)
+		approx, err1 := LocalitySensitive(m, k)
+		exact, err2 := BruteForce(m, k)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return MeanLatency(m, exact) <= MeanLatency(m, approx)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMeanLatencyPermutationInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randMatrix(rng, 12)
+		g := []int{1, 4, 7, 9}
+		want := MeanLatency(m, g)
+		shuffled := append([]int(nil), g...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		return MeanLatency(m, shuffled) == want && MaxLatency(m, shuffled) == MaxLatency(m, g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMaxAtLeastMean(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randMatrix(rng, 16)
+		k := 2 + int(kRaw)%10
+		g, err := LocalitySensitive(m, k)
+		if err != nil {
+			return false
+		}
+		return MaxLatency(m, g) >= MeanLatency(m, g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDeterministicForSameInput(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randMatrix(rng, 20)
+		a, err1 := LocalitySensitive(m, 5)
+		b, err2 := LocalitySensitive(m, 5)
+		if err1 != nil || err2 != nil || len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package ipstack
+
+import (
+	"wavnet/internal/ether"
+	"wavnet/internal/netsim"
+	"wavnet/internal/sim"
+)
+
+// arpCache resolves virtual IPs to MACs on the flat L2 segment, queueing
+// outbound packets during resolution and retrying requests.
+type arpCache struct {
+	stack   *Stack
+	entries map[netsim.IP]*arpEntry
+	pending map[netsim.IP]*arpPending
+
+	// Stats.
+	Requests, Replies uint64
+	Failures          uint64
+}
+
+type arpEntry struct {
+	mac  ether.MAC
+	seen sim.Time
+}
+
+type arpPending struct {
+	queue [][]byte // marshalled IPv4 packets awaiting the MAC
+	tries int
+	timer *sim.Timer
+}
+
+const (
+	arpRetryInterval = sim.Second
+	arpMaxTries      = 3
+	arpMaxQueue      = 64
+)
+
+func newARPCache(s *Stack) *arpCache {
+	return &arpCache{
+		stack:   s,
+		entries: make(map[netsim.IP]*arpEntry),
+		pending: make(map[netsim.IP]*arpPending),
+	}
+}
+
+// lookup returns a fresh cache entry's MAC.
+func (a *arpCache) lookup(ip netsim.IP) (ether.MAC, bool) {
+	e, ok := a.entries[ip]
+	if !ok {
+		return ether.MAC{}, false
+	}
+	if a.stack.eng.Now().Sub(e.seen) > a.stack.cfg.ARPTimeout {
+		delete(a.entries, ip)
+		return ether.MAC{}, false
+	}
+	return e.mac, true
+}
+
+// sendResolved transmits an IPv4 packet, resolving the MAC first if
+// needed.
+func (a *arpCache) sendResolved(dst netsim.IP, ipPkt []byte) {
+	if mac, ok := a.lookup(dst); ok {
+		a.stack.sendFrame(&ether.Frame{Dst: mac, Src: a.stack.mac, Type: ether.TypeIPv4, Payload: ipPkt})
+		return
+	}
+	p, inFlight := a.pending[dst]
+	if !inFlight {
+		p = &arpPending{}
+		a.pending[dst] = p
+		a.request(dst, p)
+	}
+	if len(p.queue) < arpMaxQueue {
+		p.queue = append(p.queue, ipPkt)
+	} else {
+		a.stack.Drops++
+	}
+}
+
+func (a *arpCache) request(dst netsim.IP, p *arpPending) {
+	p.tries++
+	a.Requests++
+	req := &ether.ARP{
+		Op:        ether.ARPRequest,
+		SenderMAC: a.stack.mac,
+		SenderIP:  a.stack.ip,
+		TargetIP:  dst,
+	}
+	a.stack.sendFrame(&ether.Frame{Dst: ether.Broadcast, Src: a.stack.mac, Type: ether.TypeARP, Payload: req.Marshal()})
+	p.timer = sim.NewTimer(a.stack.eng, func() {
+		if p.tries >= arpMaxTries {
+			a.Failures++
+			a.stack.Drops += uint64(len(p.queue))
+			delete(a.pending, dst)
+			return
+		}
+		a.request(dst, p)
+	})
+	p.timer.Reset(arpRetryInterval)
+}
+
+// onPacket handles inbound ARP traffic: answers requests for our IP and
+// learns bindings from any sender (including gratuitous announcements,
+// which is how migrated VMs re-point their peers).
+func (a *arpCache) onPacket(f *ether.Frame) {
+	pkt, err := ether.UnmarshalARP(f.Payload)
+	if err != nil {
+		return
+	}
+	// Learn/refresh the sender binding unconditionally.
+	if pkt.SenderIP != 0 {
+		a.learn(pkt.SenderIP, pkt.SenderMAC)
+	}
+	if pkt.Op == ether.ARPRequest && pkt.TargetIP == a.stack.ip && pkt.SenderIP != a.stack.ip {
+		reply := &ether.ARP{
+			Op:        ether.ARPReply,
+			SenderMAC: a.stack.mac,
+			SenderIP:  a.stack.ip,
+			TargetMAC: pkt.SenderMAC,
+			TargetIP:  pkt.SenderIP,
+		}
+		a.Replies++
+		a.stack.sendFrame(&ether.Frame{Dst: pkt.SenderMAC, Src: a.stack.mac, Type: ether.TypeARP, Payload: reply.Marshal()})
+	}
+}
+
+func (a *arpCache) learn(ip netsim.IP, mac ether.MAC) {
+	a.entries[ip] = &arpEntry{mac: mac, seen: a.stack.eng.Now()}
+	if p, ok := a.pending[ip]; ok {
+		delete(a.pending, ip)
+		if p.timer != nil {
+			p.timer.Stop()
+		}
+		for _, pkt := range p.queue {
+			a.stack.sendFrame(&ether.Frame{Dst: mac, Src: a.stack.mac, Type: ether.TypeIPv4, Payload: pkt})
+		}
+	}
+}

@@ -1,0 +1,1152 @@
+package ipstack
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"wavnet/internal/netsim"
+	"wavnet/internal/sim"
+)
+
+// TCP connection states (RFC 793, TIME_WAIT shortened).
+type connState int
+
+const (
+	stateSynSent connState = iota
+	stateSynRcvd
+	stateEstablished
+	stateFinWait1
+	stateFinWait2
+	stateCloseWait
+	stateLastAck
+	stateClosing
+	stateTimeWait
+	stateClosed
+)
+
+func (s connState) String() string {
+	names := []string{"SYN_SENT", "SYN_RCVD", "ESTABLISHED", "FIN_WAIT_1", "FIN_WAIT_2",
+		"CLOSE_WAIT", "LAST_ACK", "CLOSING", "TIME_WAIT", "CLOSED"}
+	if int(s) < len(names) {
+		return names[s]
+	}
+	return "?"
+}
+
+// Errors surfaced by TCP operations.
+var (
+	ErrConnReset   = errors.New("ipstack: connection reset")
+	ErrConnClosed  = errors.New("ipstack: connection closed")
+	ErrConnTimeout = errors.New("ipstack: connection timed out")
+	ErrRefused     = errors.New("ipstack: connection refused")
+)
+
+const (
+	initialRTO = sim.Second
+	minRTO     = 200 * sim.Millisecond
+	maxRTO     = 60 * sim.Second
+	timeWait   = sim.Second
+	maxSynTry  = 6
+	maxRtxTry  = 12
+	// maxBurstSegs bounds segments emitted per ACK/doorbell (like
+	// Linux's tcp_limit_output): it stops window-sized line-rate bursts
+	// from repeatedly overflowing shallow bottleneck queues.
+	maxBurstSegs = 10
+)
+
+type connKey struct {
+	localPort  uint16
+	remoteIP   netsim.IP
+	remotePort uint16
+}
+
+// Conn is a TCP connection. All methods taking a *sim.Proc block that
+// process; the rest run in event context.
+type Conn struct {
+	stack  *Stack
+	key    connKey
+	state  connState
+	local  netsim.Addr
+	remote netsim.Addr
+	lis    *Listener // non-nil until accepted
+
+	mss int
+
+	// Send side. sndBuf[0] corresponds to sequence sndUna once
+	// established (the SYN consumed iss).
+	iss            uint32
+	sndUna, sndNxt uint32
+	sndBuf         []byte
+	sndClosed      bool
+	finSent        bool
+	finAcked       bool
+	finSeq         uint32
+	cwnd, ssthresh float64
+	peerWnd        uint32
+	dupAcks        int
+	inRecovery     bool
+	recover        uint32
+	rtxTimer       *sim.Timer
+	rtxTries       int
+	backoff        int
+	srtt, rttvar   sim.Duration
+	rto            sim.Duration
+	rttPending     bool
+	rttSeq         uint32
+	rttTime        sim.Time
+	persistTimer   *sim.Timer
+	// SACK scoreboard: sorted, disjoint [start,end) ranges the peer has
+	// acknowledged above sndUna.
+	sacked [][2]uint32
+	// Loss marking (fast recovery and RTO share it): sequences below
+	// lostBelow not covered by the scoreboard are considered lost and
+	// excluded from the pipe; [sndUna, rtxUntil) has been retransmitted
+	// once and counts again. lostBelow == sndUna means nothing is marked.
+	lostBelow uint32
+	rtxUntil  uint32
+
+	// Receive side.
+	rcvNxt      uint32
+	rcvBuf      []byte
+	ooo         []oooSeg
+	peerFin     bool
+	peerFinSeq  uint32
+	peerFinDone bool
+	lastAdvWnd  uint32
+
+	// App wait queues.
+	readWq, writeWq, connWq sim.WaitQueue
+
+	err error
+
+	// Stats.
+	BytesIn, BytesOut uint64
+	SegsIn, SegsOut   uint64
+	Retransmits       uint64
+	FastRetransmits   uint64
+	Timeouts          uint64
+	DupAcksSeen       uint64
+	timeWaitEv        *sim.Event
+}
+
+type oooSeg struct {
+	seq  uint32
+	data []byte
+	fin  bool
+}
+
+// Listener accepts inbound TCP connections on a port.
+type Listener struct {
+	stack   *Stack
+	port    uint16
+	backlog []*Conn
+	wq      sim.WaitQueue
+	closed  bool
+}
+
+// Listen binds a TCP listener.
+func (s *Stack) Listen(port uint16) (*Listener, error) {
+	if port == 0 {
+		p, err := s.allocPort()
+		if err != nil {
+			return nil, err
+		}
+		port = p
+	} else if _, busy := s.listeners[port]; busy {
+		return nil, fmt.Errorf("ipstack %s: TCP port %d in use", s.name, port)
+	}
+	l := &Listener{stack: s, port: port}
+	s.listeners[port] = l
+	return l, nil
+}
+
+// Port returns the listening port.
+func (l *Listener) Port() uint16 { return l.port }
+
+// Addr returns the listener's full address.
+func (l *Listener) Addr() netsim.Addr { return netsim.Addr{IP: l.stack.ip, Port: l.port} }
+
+// Accept blocks until a connection completes the handshake.
+func (l *Listener) Accept(p *sim.Proc) (*Conn, error) {
+	for len(l.backlog) == 0 {
+		if l.closed {
+			return nil, ErrConnClosed
+		}
+		if !l.wq.Wait(p) {
+			return nil, ErrConnClosed
+		}
+	}
+	c := l.backlog[0]
+	l.backlog = l.backlog[1:]
+	c.lis = nil
+	return c, nil
+}
+
+// Close stops the listener.
+func (l *Listener) Close() {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	delete(l.stack.listeners, l.port)
+	l.wq.Broadcast()
+}
+
+// Dial opens a connection to remote and blocks until established.
+func (s *Stack) Dial(p *sim.Proc, remote netsim.Addr) (*Conn, error) {
+	port, err := s.allocPort()
+	if err != nil {
+		return nil, err
+	}
+	c := s.newConn(connKey{port, remote.IP, remote.Port}, stateSynSent)
+	c.iss = s.eng.Rand().Uint32()
+	c.sndUna, c.sndNxt = c.iss, c.iss+1
+	c.lostBelow, c.rtxUntil, c.recover = c.sndUna, c.sndUna, c.sndUna
+	c.sendSeg(&tcpSegment{Flags: flagSYN, Seq: c.iss, Wnd: c.advWnd()})
+	c.armRTX()
+	for c.state != stateEstablished && c.err == nil {
+		if !c.connWq.Wait(p) {
+			return nil, ErrConnClosed
+		}
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	return c, nil
+}
+
+func (s *Stack) newConn(key connKey, st connState) *Conn {
+	c := &Conn{
+		stack:    s,
+		key:      key,
+		state:    st,
+		local:    netsim.Addr{IP: s.ip, Port: key.localPort},
+		remote:   netsim.Addr{IP: key.remoteIP, Port: key.remotePort},
+		mss:      s.cfg.MTU - IPHeaderLen - TCPHeaderLen,
+		ssthresh: 1 << 30,
+		rto:      initialRTO,
+		backoff:  1,
+		peerWnd:  uint32(s.cfg.RecvBuf),
+	}
+	c.cwnd = float64(10 * c.mss) // IW10
+	c.rtxTimer = sim.NewTimer(s.eng, c.onRTO)
+	c.persistTimer = sim.NewTimer(s.eng, c.onPersist)
+	s.conns[key] = c
+	return c
+}
+
+// LocalAddr returns the connection's local endpoint.
+func (c *Conn) LocalAddr() netsim.Addr { return c.local }
+
+// RemoteAddr returns the connection's remote endpoint.
+func (c *Conn) RemoteAddr() netsim.Addr { return c.remote }
+
+// State returns the current TCP state (for tests and diagnostics).
+func (c *Conn) State() string { return c.state.String() }
+
+// MSS returns the negotiated (configured) maximum segment size.
+func (c *Conn) MSS() int { return c.mss }
+
+// Cwnd returns the current congestion window in bytes.
+func (c *Conn) Cwnd() float64 { return c.cwnd }
+
+func (c *Conn) advWnd() uint32 {
+	free := c.stack.cfg.RecvBuf - len(c.rcvBuf)
+	if free < 0 {
+		free = 0
+	}
+	return uint32(free)
+}
+
+func (c *Conn) flight() uint32 { return c.sndNxt - c.sndUna }
+
+// ---- output ----
+
+func (c *Conn) sendSeg(seg *tcpSegment) {
+	seg.SrcPort = c.local.Port
+	seg.DstPort = c.remote.Port
+	c.SegsOut++
+	c.lastAdvWnd = seg.Wnd
+	c.stack.sendIP(c.remote.IP, ProtoTCP, marshalTCP(seg))
+}
+
+func (c *Conn) sendACK() {
+	c.sendSeg(&tcpSegment{Flags: flagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Wnd: c.advWnd(), SACK: c.sackBlocks()})
+}
+
+// sackBlocks reports the receiver's out-of-order ranges (already
+// coalesced by stashOOO) as SACK blocks: the lowest blocks (the frontier
+// the sender must fill first) plus always the highest block, so the
+// sender can bound the truly-lost span.
+func (c *Conn) sackBlocks() [][2]uint32 {
+	if len(c.ooo) == 0 {
+		return nil
+	}
+	var blocks [][2]uint32
+	n := len(c.ooo)
+	take := n
+	if take > maxSACKBlocks {
+		take = maxSACKBlocks - 1
+	}
+	for _, s := range c.ooo[:take] {
+		blocks = append(blocks, [2]uint32{s.seq, s.seq + uint32(len(s.data))})
+	}
+	if take < n {
+		last := c.ooo[n-1]
+		blocks = append(blocks, [2]uint32{last.seq, last.seq + uint32(len(last.data))})
+	}
+	return blocks
+}
+
+// pump transmits as much pending data as the congestion and peer windows
+// allow, then the FIN if the stream is closed and drained.
+func (c *Conn) pump() {
+	if c.state != stateEstablished && c.state != stateCloseWait &&
+		c.state != stateFinWait1 && c.state != stateLastAck && c.state != stateClosing {
+		return
+	}
+	wnd := int(c.cwnd)
+	if int(c.peerWnd) < wnd {
+		wnd = int(c.peerWnd)
+	}
+	for burst := 0; burst < maxBurstSegs; burst++ {
+		out := c.pipe() // bytes believed in flight (SACKed excluded)
+		if c.finSent {
+			break
+		}
+		sentData := int(c.sndNxt - c.sndUna) // bytes of sndBuf already sent
+		avail := len(c.sndBuf) - sentData
+		if avail <= 0 {
+			break
+		}
+		if out >= wnd {
+			break
+		}
+		n := avail
+		if n > c.mss {
+			n = c.mss
+		}
+		if rem := wnd - out; n > rem {
+			n = rem
+		}
+		if n <= 0 {
+			break
+		}
+		// Sender-side silly-window avoidance: a sub-MSS segment is only
+		// worth sending when it carries the tail of the buffered data;
+		// window-growth crumbs wait for the window to open further.
+		if n < c.mss && n < avail {
+			break
+		}
+		payload := make([]byte, n)
+		copy(payload, c.sndBuf[sentData:sentData+n])
+		seg := &tcpSegment{
+			Flags:   flagACK | flagPSH,
+			Seq:     c.sndNxt,
+			Ack:     c.rcvNxt,
+			Wnd:     c.advWnd(),
+			Payload: payload,
+		}
+		if !c.rttPending {
+			c.rttPending = true
+			c.rttSeq = c.sndNxt + uint32(n)
+			c.rttTime = c.stack.eng.Now()
+		}
+		c.sndNxt += uint32(n)
+		c.BytesOut += uint64(n)
+		c.sendSeg(seg)
+	}
+	// FIN once everything is sent.
+	if c.sndClosed && !c.finSent && int(c.sndNxt-c.sndUna) == len(c.sndBuf) {
+		c.finSeq = c.sndNxt
+		c.finSent = true
+		c.sndNxt++
+		c.sendSeg(&tcpSegment{Flags: flagFIN | flagACK, Seq: c.finSeq, Ack: c.rcvNxt, Wnd: c.advWnd()})
+		switch c.state {
+		case stateEstablished:
+			c.setState(stateFinWait1)
+		case stateCloseWait:
+			c.setState(stateLastAck)
+		}
+	}
+	if c.flight() > 0 {
+		c.armRTX()
+	} else {
+		c.rtxTimer.Stop()
+	}
+	// Zero-window probing.
+	if c.peerWnd == 0 && len(c.sndBuf) > 0 && c.flight() == 0 {
+		if !c.persistTimer.Active() {
+			c.persistTimer.Reset(c.rto)
+		}
+	}
+}
+
+func (c *Conn) onPersist() {
+	if c.state == stateClosed || c.peerWnd > 0 || len(c.sndBuf) == 0 {
+		return
+	}
+	// Probe with one byte beyond the window.
+	probe := &tcpSegment{
+		Flags:   flagACK,
+		Seq:     c.sndNxt,
+		Ack:     c.rcvNxt,
+		Wnd:     c.advWnd(),
+		Payload: c.sndBuf[int(c.sndNxt-c.sndUna):][:1],
+	}
+	c.sendSeg(probe)
+	c.persistTimer.Reset(c.rto)
+}
+
+// retransmit resends the handshake segment (SYN states only; data
+// retransmission goes through retransmitRange).
+func (c *Conn) retransmit() {
+	c.Retransmits++
+	switch c.state {
+	case stateSynSent:
+		c.sendSeg(&tcpSegment{Flags: flagSYN, Seq: c.iss, Wnd: c.advWnd()})
+	case stateSynRcvd:
+		c.sendSeg(&tcpSegment{Flags: flagSYN | flagACK, Seq: c.iss, Ack: c.rcvNxt, Wnd: c.advWnd()})
+	}
+}
+
+func (c *Conn) armRTX() {
+	c.rtxTimer.Reset(c.rto * sim.Duration(c.backoff))
+}
+
+func (c *Conn) onRTO() {
+	if c.state == stateClosed || c.flight() == 0 {
+		return
+	}
+	c.Timeouts++
+	c.rtxTries++
+	maxTries := maxRtxTry
+	if c.state == stateSynSent || c.state == stateSynRcvd {
+		maxTries = maxSynTry
+	}
+	if c.rtxTries > maxTries {
+		err := ErrConnTimeout
+		if c.state == stateSynSent {
+			err = ErrRefused
+		}
+		c.teardown(err)
+		return
+	}
+	// Reno loss response: collapse to one segment, halve ssthresh.
+	fl := float64(c.flight())
+	c.ssthresh = fl / 2
+	if c.ssthresh < float64(2*c.mss) {
+		c.ssthresh = float64(2 * c.mss)
+	}
+	c.cwnd = float64(c.mss)
+	c.inRecovery = false
+	c.dupAcks = 0
+	c.rttPending = false // Karn's rule
+	if c.backoff < 64 {
+		c.backoff *= 2
+	}
+	if c.state == stateSynSent || c.state == stateSynRcvd {
+		c.retransmit()
+		c.armRTX()
+		return
+	}
+	// Mark the whole flight lost and retransmit it sequentially under
+	// slow start, skipping SACKed ranges. sndNxt is preserved so later
+	// cumulative ACKs remain valid. (A FIN at the top of the lost span is
+	// resent by retransmitRange when the pointer reaches finSeq.)
+	c.inRecovery = false
+	c.lostBelow = c.sndNxt
+	c.rtxUntil = c.sndUna
+	c.pumpLost()
+	c.armRTX()
+}
+
+// ---- input ----
+
+func (s *Stack) onTCP(h *ipv4Header, payload []byte) {
+	seg, err := unmarshalTCP(payload)
+	if err != nil {
+		s.Drops++
+		return
+	}
+	key := connKey{seg.DstPort, h.Src, seg.SrcPort}
+	if c, ok := s.conns[key]; ok {
+		c.SegsIn++
+		c.onSegment(seg)
+		return
+	}
+	// New connection to a listener?
+	if l, ok := s.listeners[seg.DstPort]; ok && seg.has(flagSYN) && !seg.has(flagACK) && !l.closed {
+		c := s.newConn(key, stateSynRcvd)
+		c.lis = l
+		c.iss = s.eng.Rand().Uint32()
+		c.sndUna, c.sndNxt = c.iss, c.iss+1
+		c.lostBelow, c.rtxUntil, c.recover = c.sndUna, c.sndUna, c.sndUna
+		c.rcvNxt = seg.Seq + 1
+		c.peerWnd = seg.Wnd
+		c.sendSeg(&tcpSegment{Flags: flagSYN | flagACK, Seq: c.iss, Ack: c.rcvNxt, Wnd: c.advWnd()})
+		c.armRTX()
+		return
+	}
+	// No home for this segment: RST.
+	if !seg.has(flagRST) {
+		rst := &tcpSegment{SrcPort: seg.DstPort, DstPort: seg.SrcPort, Flags: flagRST | flagACK}
+		if seg.has(flagACK) {
+			rst.Seq = seg.Ack
+		}
+		rst.Ack = seg.Seq + uint32(len(seg.Payload))
+		if seg.has(flagSYN) {
+			rst.Ack++
+		}
+		s.sendIP(h.Src, ProtoTCP, marshalTCP(rst))
+	}
+}
+
+func (c *Conn) onSegment(seg *tcpSegment) {
+	if seg.has(flagRST) {
+		if c.state == stateSynSent {
+			c.teardown(ErrRefused)
+		} else {
+			c.teardown(ErrConnReset)
+		}
+		return
+	}
+	switch c.state {
+	case stateSynSent:
+		if seg.has(flagSYN) && seg.has(flagACK) && seg.Ack == c.iss+1 {
+			c.rcvNxt = seg.Seq + 1
+			c.sndUna = seg.Ack
+			c.peerWnd = seg.Wnd
+			c.setState(stateEstablished)
+			c.backoff, c.rtxTries = 1, 0
+			c.rtxTimer.Stop()
+			c.sendACK()
+			c.connWq.Broadcast()
+			c.pump()
+		}
+		return
+	case stateSynRcvd:
+		if seg.has(flagACK) && seg.Ack == c.iss+1 {
+			c.sndUna = seg.Ack
+			c.peerWnd = seg.Wnd
+			c.setState(stateEstablished)
+			c.backoff, c.rtxTries = 1, 0
+			c.rtxTimer.Stop()
+			if c.lis != nil {
+				c.lis.backlog = append(c.lis.backlog, c)
+				c.lis.wq.Signal()
+			}
+			// Fall through to process any piggybacked data.
+		} else {
+			return
+		}
+	case stateClosed:
+		return
+	}
+
+	if seg.has(flagACK) {
+		c.processAck(seg)
+	}
+	if len(seg.Payload) > 0 || seg.has(flagFIN) {
+		c.processData(seg)
+	}
+}
+
+// ---- SACK scoreboard ----
+
+// addSacked merges a peer-reported range into the scoreboard.
+func (c *Conn) addSacked(start, end uint32) {
+	if seqGEQ(start, end) || seqLEQ(end, c.sndUna) || seqGT(end, c.sndNxt) {
+		return
+	}
+	if seqLT(start, c.sndUna) {
+		start = c.sndUna
+	}
+	c.sacked = append(c.sacked, [2]uint32{start, end})
+	sort.Slice(c.sacked, func(i, j int) bool { return seqLT(c.sacked[i][0], c.sacked[j][0]) })
+	merged := c.sacked[:1]
+	for _, r := range c.sacked[1:] {
+		last := &merged[len(merged)-1]
+		if seqLEQ(r[0], last[1]) {
+			if seqGT(r[1], last[1]) {
+				last[1] = r[1]
+			}
+		} else {
+			merged = append(merged, r)
+		}
+	}
+	c.sacked = merged
+}
+
+// trimSacked drops scoreboard ranges at or below sndUna.
+func (c *Conn) trimSacked() {
+	out := c.sacked[:0]
+	for _, r := range c.sacked {
+		if seqLEQ(r[1], c.sndUna) {
+			continue
+		}
+		if seqLT(r[0], c.sndUna) {
+			r[0] = c.sndUna
+		}
+		out = append(out, r)
+	}
+	c.sacked = out
+}
+
+// sackedBytes is the total SACKed volume above sndUna.
+func (c *Conn) sackedBytes() int {
+	n := 0
+	for _, r := range c.sacked {
+		n += int(r[1] - r[0])
+	}
+	return n
+}
+
+// pipe estimates bytes actually in flight: sent minus SACKed minus the
+// marked-lost span that has not been retransmitted yet.
+func (c *Conn) pipe() int {
+	var p int
+	if seqGT(c.lostBelow, c.sndUna) {
+		retransmitted := int(c.rtxUntil-c.sndUna) - c.sackedBytesIn(c.sndUna, c.rtxUntil)
+		afterLoss := int(c.sndNxt-c.lostBelow) - c.sackedBytesIn(c.lostBelow, c.sndNxt)
+		p = retransmitted + afterLoss
+	} else {
+		p = int(c.flight()) - c.sackedBytes()
+	}
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// sackedBytesIn reports the scoreboard volume inside [from, to).
+func (c *Conn) sackedBytesIn(from, to uint32) int {
+	n := 0
+	for _, r := range c.sacked {
+		lo, hi := r[0], r[1]
+		if seqLT(lo, from) {
+			lo = from
+		}
+		if seqGT(hi, to) {
+			hi = to
+		}
+		if seqLT(lo, hi) {
+			n += int(hi - lo)
+		}
+	}
+	return n
+}
+
+// pumpLost retransmits the lost span [rtxUntil, lostBelow) under the
+// cwnd/pipe budget, skipping SACKed ranges.
+func (c *Conn) pumpLost() {
+	for burst := 0; seqLT(c.rtxUntil, c.lostBelow) && burst < maxBurstSegs; burst++ {
+		if int(c.cwnd)-c.pipe() <= 0 {
+			return
+		}
+		seq := c.rtxUntil
+		// Skip anything the receiver already holds.
+		skipped := false
+		for _, r := range c.sacked {
+			if seqGEQ(seq, r[0]) && seqLT(seq, r[1]) {
+				c.rtxUntil = r[1]
+				skipped = true
+				break
+			}
+		}
+		if skipped {
+			continue
+		}
+		limit := c.lostBelow
+		for _, r := range c.sacked {
+			if seqGT(r[0], seq) && seqLT(r[0], limit) {
+				limit = r[0]
+				break
+			}
+		}
+		n := c.retransmitRange(seq, limit)
+		if n == 0 {
+			return
+		}
+		c.rtxUntil = seq + uint32(n)
+	}
+}
+
+// highestSacked returns the top of the scoreboard (sndUna when empty).
+func (c *Conn) highestSacked() uint32 {
+	if len(c.sacked) == 0 {
+		return c.sndUna
+	}
+	return c.sacked[len(c.sacked)-1][1]
+}
+
+// retransmitRange resends up to one MSS starting at seq (or the FIN).
+func (c *Conn) retransmitRange(seq, limit uint32) int {
+	if c.finSent && seq == c.finSeq {
+		c.sendSeg(&tcpSegment{Flags: flagFIN | flagACK, Seq: c.finSeq, Ack: c.rcvNxt, Wnd: c.advWnd()})
+		c.Retransmits++
+		return 1
+	}
+	off := int(seq - c.sndUna)
+	if off < 0 || off >= len(c.sndBuf) {
+		return 0
+	}
+	n := len(c.sndBuf) - off
+	if n > c.mss {
+		n = c.mss
+	}
+	if lim := int(limit - seq); n > lim {
+		n = lim
+	}
+	if n <= 0 {
+		return 0
+	}
+	payload := make([]byte, n)
+	copy(payload, c.sndBuf[off:off+n])
+	c.sendSeg(&tcpSegment{Flags: flagACK | flagPSH, Seq: seq, Ack: c.rcvNxt, Wnd: c.advWnd(), Payload: payload})
+	c.Retransmits++
+	return n
+}
+
+// markLost marks everything up to seq as lost (not in the pipe unless
+// SACKed or retransmitted) and begins hole retransmission.
+func (c *Conn) markLost(seq uint32) {
+	if seqGT(seq, c.lostBelow) {
+		c.lostBelow = seq
+	}
+	if seqLT(c.rtxUntil, c.sndUna) {
+		c.rtxUntil = c.sndUna
+	}
+}
+
+func (c *Conn) enterRecovery(halve bool) {
+	if halve {
+		c.FastRetransmits++
+		fl := float64(int(c.flight()) - c.sackedBytes())
+		c.ssthresh = fl / 2
+		if c.ssthresh < float64(2*c.mss) {
+			c.ssthresh = float64(2 * c.mss)
+		}
+		c.cwnd = c.ssthresh
+	}
+	c.inRecovery = true
+	c.recover = c.sndNxt
+	c.rtxUntil = c.sndUna
+	if len(c.sacked) == 0 {
+		// No SACK information (pure triple-dup): classic fast
+		// retransmit of the first segment only.
+		c.retransmitRange(c.sndUna, c.sndNxt)
+		c.rtxUntil = c.sndUna + uint32(c.mss)
+	} else {
+		c.markLost(c.highestSacked())
+		c.pumpLost()
+	}
+	c.pump()
+	c.armRTX()
+}
+
+func (c *Conn) processAck(seg *tcpSegment) {
+	ack := seg.Ack
+	if seqGT(ack, c.sndNxt) {
+		return // acks data we never sent
+	}
+	for _, blk := range seg.SACK {
+		c.addSacked(blk[0], blk[1])
+	}
+	if seqGT(ack, c.sndUna) {
+		ackedData := ack - c.sndUna
+		if c.finSent && seqGEQ(ack, c.finSeq+1) {
+			c.finAcked = true
+			ackedData--
+		}
+		if int(ackedData) > len(c.sndBuf) {
+			ackedData = uint32(len(c.sndBuf))
+		}
+		c.sndBuf = c.sndBuf[ackedData:]
+		c.sndUna = ack
+		c.trimSacked()
+		c.peerWnd = seg.Wnd
+		c.dupAcks = 0
+		c.backoff = 1
+		c.rtxTries = 0
+
+		// RTT sample (Karn-safe: rttPending cleared on RTO).
+		if c.rttPending && seqGEQ(ack, c.rttSeq) {
+			c.rttPending = false
+			c.updateRTT(c.stack.eng.Now().Sub(c.rttTime))
+		}
+
+		if seqGT(c.sndUna, c.rtxUntil) {
+			c.rtxUntil = c.sndUna
+		}
+		if c.inRecovery && seqGEQ(ack, c.recover) {
+			// Full recovery: deflate to ssthresh and clear loss marks.
+			c.inRecovery = false
+			c.cwnd = c.ssthresh
+			c.lostBelow, c.rtxUntil = c.sndUna, c.sndUna
+		}
+		if c.inRecovery {
+			// Partial ACK: keep filling holes. cwnd normally sits at
+			// ssthresh; if recovery was re-entered after an RTO collapse
+			// it ramps back up (PRR-like) instead of staying frozen.
+			if c.cwnd < c.ssthresh {
+				inc := float64(ackedData)
+				if inc > float64(2*c.mss) {
+					inc = float64(2 * c.mss)
+				}
+				c.cwnd += inc
+			}
+			c.markLost(c.highestSacked())
+			c.pumpLost()
+		} else {
+			if seqGT(c.lostBelow, c.sndUna) {
+				// RTO recovery: retransmission continues under slow start.
+				c.pumpLost()
+			} else {
+				c.lostBelow, c.rtxUntil = c.sndUna, c.sndUna
+			}
+			if c.cwnd < c.ssthresh {
+				// Slow start with byte counting (RFC 3465, L=2*MSS).
+				inc := float64(ackedData)
+				if inc > float64(2*c.mss) {
+					inc = float64(2 * c.mss)
+				}
+				c.cwnd += inc
+			} else {
+				// Congestion avoidance.
+				c.cwnd += float64(c.mss) * float64(c.mss) / c.cwnd
+			}
+		}
+
+		if c.flight() > 0 {
+			c.armRTX()
+		} else {
+			c.rtxTimer.Stop()
+		}
+		c.maybeFinish()
+		c.writeWq.Broadcast()
+		c.pump()
+		return
+	}
+	// Duplicate ACK detection: same ack, no payload, data outstanding,
+	// and either an unchanged window (RFC 5681) or SACK info present.
+	if ack == c.sndUna && len(seg.Payload) == 0 && c.flight() > 0 &&
+		!seg.has(flagSYN) && !seg.has(flagFIN) &&
+		(seg.Wnd == c.peerWnd || len(seg.SACK) > 0) {
+		c.dupAcks++
+		c.DupAcksSeen++
+		c.peerWnd = seg.Wnd
+		if c.dupAcks == 3 && !c.inRecovery {
+			// NewReno "careful" re-entry (RFC 6582): only halve once per
+			// window of data. Dup ACKs for losses inside a window we
+			// already responded to resume recovery at the current cwnd.
+			c.enterRecovery(seqGEQ(c.sndUna, c.recover))
+		} else if c.inRecovery {
+			c.markLost(c.highestSacked())
+			c.pumpLost()
+			c.pump()
+		}
+		return
+	}
+	// Window update.
+	c.peerWnd = seg.Wnd
+	if c.peerWnd > 0 {
+		c.persistTimer.Stop()
+		c.pump()
+	}
+}
+
+func (c *Conn) processData(seg *tcpSegment) {
+	seq := seg.Seq
+	data := seg.Payload
+	if seg.has(flagFIN) {
+		c.peerFin = true
+		c.peerFinSeq = seg.Seq + uint32(len(data))
+	}
+	if len(data) > 0 {
+		end := seq + uint32(len(data))
+		switch {
+		case seqLEQ(end, c.rcvNxt):
+			// Entirely old: re-ACK.
+		case seqGT(seq, c.rcvNxt):
+			// Out of order: stash, dup-ACK.
+			c.stashOOO(seq, data, false)
+		default:
+			if seqLT(seq, c.rcvNxt) {
+				data = data[c.rcvNxt-seq:]
+				seq = c.rcvNxt
+			}
+			c.admit(data)
+			c.drainOOO()
+		}
+	}
+	c.consumeFin()
+	c.sendACK()
+	c.readWq.Broadcast()
+}
+
+// admit appends in-order data to the receive buffer.
+func (c *Conn) admit(data []byte) {
+	free := c.stack.cfg.RecvBuf - len(c.rcvBuf)
+	if len(data) > free {
+		data = data[:free] // peer overran our advertised window
+	}
+	c.rcvBuf = append(c.rcvBuf, data...)
+	c.rcvNxt += uint32(len(data))
+	c.BytesIn += uint64(len(data))
+}
+
+// stashOOO stores an out-of-order segment, keeping the list sorted and
+// coalesced so it doubles as the SACK block set.
+func (c *Conn) stashOOO(seq uint32, data []byte, fin bool) {
+	if len(c.ooo) >= 256 {
+		return
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.ooo = append(c.ooo, oooSeg{seq: seq, data: cp, fin: fin})
+	sort.Slice(c.ooo, func(i, j int) bool { return seqLT(c.ooo[i].seq, c.ooo[j].seq) })
+	// Coalesce overlapping/adjacent runs.
+	merged := c.ooo[:1]
+	for _, s := range c.ooo[1:] {
+		last := &merged[len(merged)-1]
+		lastEnd := last.seq + uint32(len(last.data))
+		if seqLEQ(s.seq, lastEnd) {
+			sEnd := s.seq + uint32(len(s.data))
+			if seqGT(sEnd, lastEnd) {
+				last.data = append(last.data, s.data[lastEnd-s.seq:]...)
+			}
+			last.fin = last.fin || s.fin
+		} else {
+			merged = append(merged, s)
+		}
+	}
+	c.ooo = merged
+}
+
+func (c *Conn) drainOOO() {
+	changed := true
+	for changed {
+		changed = false
+		for i, s := range c.ooo {
+			end := s.seq + uint32(len(s.data))
+			if seqLEQ(end, c.rcvNxt) {
+				c.ooo = append(c.ooo[:i], c.ooo[i+1:]...)
+				changed = true
+				break
+			}
+			if seqLEQ(s.seq, c.rcvNxt) {
+				c.admit(s.data[c.rcvNxt-s.seq:])
+				c.ooo = append(c.ooo[:i], c.ooo[i+1:]...)
+				changed = true
+				break
+			}
+		}
+	}
+}
+
+// consumeFin advances past the peer's FIN once all data before it has
+// been received, and drives the close state machine.
+func (c *Conn) consumeFin() {
+	if !c.peerFin || c.peerFinDone || c.rcvNxt != c.peerFinSeq {
+		return
+	}
+	c.rcvNxt++
+	c.peerFinDone = true
+	switch c.state {
+	case stateEstablished:
+		c.setState(stateCloseWait)
+	case stateFinWait1:
+		if c.finAcked {
+			c.enterTimeWait()
+		} else {
+			c.setState(stateClosing)
+		}
+	case stateFinWait2:
+		c.enterTimeWait()
+	}
+	c.readWq.Broadcast()
+}
+
+// maybeFinish advances close states that were waiting on our FIN's ACK.
+func (c *Conn) maybeFinish() {
+	if !c.finAcked {
+		return
+	}
+	switch c.state {
+	case stateFinWait1:
+		if c.peerFinDone {
+			c.enterTimeWait()
+		} else {
+			c.setState(stateFinWait2)
+		}
+	case stateClosing:
+		c.enterTimeWait()
+	case stateLastAck:
+		c.remove()
+	}
+}
+
+func (c *Conn) enterTimeWait() {
+	c.setState(stateTimeWait)
+	c.rtxTimer.Stop()
+	if c.timeWaitEv != nil {
+		c.stack.eng.Cancel(c.timeWaitEv)
+	}
+	c.timeWaitEv = c.stack.eng.Schedule(timeWait, c.remove)
+}
+
+func (c *Conn) setState(s connState) { c.state = s }
+
+// remove deletes the connection from the stack's demux table.
+func (c *Conn) remove() {
+	c.setState(stateClosed)
+	c.rtxTimer.Stop()
+	c.persistTimer.Stop()
+	delete(c.stack.conns, c.key)
+	c.readWq.Broadcast()
+	c.writeWq.Broadcast()
+	c.connWq.Broadcast()
+}
+
+// teardown aborts with an error.
+func (c *Conn) teardown(err error) {
+	if c.state == stateClosed {
+		return
+	}
+	c.err = err
+	c.remove()
+}
+
+func (c *Conn) updateRTT(r sim.Duration) {
+	if c.srtt == 0 {
+		c.srtt = r
+		c.rttvar = r / 2
+	} else {
+		d := c.srtt - r
+		if d < 0 {
+			d = -d
+		}
+		c.rttvar = (3*c.rttvar + d) / 4
+		c.srtt = (7*c.srtt + r) / 8
+	}
+	c.rto = c.srtt + 4*c.rttvar
+	if c.rto < minRTO {
+		c.rto = minRTO
+	}
+	if c.rto > maxRTO {
+		c.rto = maxRTO
+	}
+}
+
+// SRTT exposes the smoothed RTT estimate.
+func (c *Conn) SRTT() sim.Duration { return c.srtt }
+
+// ---- application interface ----
+
+// Read copies received bytes into buf, blocking until data, EOF or error.
+func (c *Conn) Read(p *sim.Proc, buf []byte) (int, error) {
+	for {
+		if len(c.rcvBuf) > 0 {
+			n := copy(buf, c.rcvBuf)
+			c.rcvBuf = c.rcvBuf[n:]
+			// Window update if we freed a meaningful amount.
+			if adv := c.advWnd(); adv >= uint32(c.mss) && adv-c.lastAdvWnd >= uint32(c.mss) && c.state != stateClosed {
+				c.sendACK()
+			}
+			return n, nil
+		}
+		if c.err != nil {
+			return 0, c.err
+		}
+		if c.peerFinDone {
+			return 0, io.EOF
+		}
+		if c.state == stateClosed {
+			return 0, ErrConnClosed
+		}
+		if !c.readWq.Wait(p) {
+			return 0, ErrConnClosed
+		}
+	}
+}
+
+// ReadFull reads exactly len(buf) bytes unless EOF or error intervenes.
+func (c *Conn) ReadFull(p *sim.Proc, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := c.Read(p, buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Write queues data on the stream, blocking while the send buffer is
+// full. It returns the number of bytes accepted.
+func (c *Conn) Write(p *sim.Proc, data []byte) (int, error) {
+	written := 0
+	for written < len(data) {
+		if c.err != nil {
+			return written, c.err
+		}
+		if c.sndClosed || c.state == stateClosed {
+			return written, ErrConnClosed
+		}
+		space := c.stack.cfg.SendBuf - len(c.sndBuf)
+		if space <= 0 {
+			if !c.writeWq.Wait(p) {
+				return written, ErrConnClosed
+			}
+			continue
+		}
+		n := len(data) - written
+		if n > space {
+			n = space
+		}
+		c.sndBuf = append(c.sndBuf, data[written:written+n]...)
+		written += n
+		c.pump()
+	}
+	return written, nil
+}
+
+// Close half-closes the stream: queued data is delivered, then a FIN.
+// Reading remains possible until the peer closes.
+func (c *Conn) Close() {
+	if c.sndClosed || c.state == stateClosed {
+		return
+	}
+	c.sndClosed = true
+	c.pump()
+}
+
+// Abort resets the connection immediately.
+func (c *Conn) Abort() {
+	if c.state == stateClosed {
+		return
+	}
+	c.sendSeg(&tcpSegment{Flags: flagRST | flagACK, Seq: c.sndNxt, Ack: c.rcvNxt})
+	c.teardown(ErrConnReset)
+}
+
+// Err returns the terminal error, if any.
+func (c *Conn) Err() error { return c.err }
+
+// Diagnostic accessors used by tests and the benchmark harness.
+
+// Ssthresh exposes the slow-start threshold.
+func (c *Conn) Ssthresh() float64 { return c.ssthresh }
+
+// Pipe exposes the estimated bytes in flight.
+func (c *Conn) Pipe() int { return c.pipe() }
+
+// Flight exposes sndNxt-sndUna.
+func (c *Conn) Flight() int { return int(c.flight()) }
+
+// InRecovery reports whether fast recovery is active.
+func (c *Conn) InRecovery() bool { return c.inRecovery }

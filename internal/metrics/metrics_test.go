@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wavnet/internal/sim"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.Count != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.P50 != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("stddev %v", s.Stddev)
+	}
+	if z := Summarize(nil); z.Count != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+}
+
+func TestPropertySummaryBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		// Map arbitrary floats into a finite range: summing values near
+		// ±MaxFloat64 legitimately overflows any mean computation.
+		vs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			vs = append(vs, math.Mod(v, 1e9))
+		}
+		s := Summarize(vs)
+		if s.Count == 0 {
+			return len(vs) == 0
+		}
+		return s.Min <= s.Mean && s.Mean <= s.Max && s.Min <= s.P50 && s.P50 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesBetween(t *testing.T) {
+	s := NewSeries("x")
+	for i := 0; i < 10; i++ {
+		s.Add(sim.Time(i)*sim.Time(sim.Second), float64(i))
+	}
+	sub := s.Between(sim.Time(3*sim.Second), sim.Time(6*sim.Second))
+	if sub.Len() != 3 || sub.Samples[0].Value != 3 {
+		t.Fatalf("between: %+v", sub.Samples)
+	}
+	if s.Summary().Mean != 4.5 {
+		t.Fatalf("mean %v", s.Summary().Mean)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for _, v := range []float64{-1, 0, 0.5, 5, 9.99, 10, 42} {
+		h.Observe(v)
+	}
+	if h.Under != 1 || h.Over != 2 || h.CountN != 7 {
+		t.Fatalf("histogram %+v", h)
+	}
+	if h.Buckets[0] != 2 || h.Buckets[5] != 1 || h.Buckets[9] != 1 {
+		t.Fatalf("buckets %v", h.Buckets)
+	}
+	if h.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestRateAndMs(t *testing.T) {
+	if r := Rate(1250000, sim.Second); r != 10 {
+		t.Fatalf("rate %v, want 10 Mbps", r)
+	}
+	if Rate(100, 0) != 0 {
+		t.Fatal("rate with zero duration")
+	}
+	if MsFloat(1500000) != 1.5 {
+		t.Fatal("MsFloat")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc(100)
+	c.Inc(50)
+	if c.N != 2 || c.Total != 150 {
+		t.Fatalf("counter %+v", c)
+	}
+}

@@ -1,0 +1,268 @@
+package netsim
+
+import (
+	"fmt"
+
+	"wavnet/internal/sim"
+)
+
+// Site is a geographical location (university, data center, home network).
+// Propagation latency between hosts is a function of their sites.
+type Site struct {
+	Index int
+	Name  string
+}
+
+// Network is the simulated Internet: sites, a one-way latency mesh,
+// public hosts (routable IPs) and LANs hanging off gateways.
+type Network struct {
+	eng   *sim.Engine
+	sites []*Site
+
+	// oneWay[a][b] is the one-way propagation delay between sites a and b.
+	oneWay [][]sim.Duration
+
+	byIP  map[IP]*Host // public routing table (includes gateway aliases)
+	hosts []*Host
+
+	// LossRate is the probability a WAN transit drops a packet.
+	LossRate float64
+	// JitterFrac adds uniform ±frac×latency noise to each WAN transit.
+	JitterFrac float64
+
+	// Stats.
+	Delivered   uint64
+	LostWAN     uint64
+	NoRoute     uint64
+	QueueDrops  uint64
+	deliverHook func(*Packet)
+}
+
+// New creates an empty network on the given engine.
+func New(eng *sim.Engine) *Network {
+	return &Network{
+		eng:  eng,
+		byIP: make(map[IP]*Host),
+	}
+}
+
+// Engine returns the simulation engine this network runs on.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// NewSite registers a site and returns it. Latency to every existing site
+// defaults to zero until SetLatency is called.
+func (n *Network) NewSite(name string) *Site {
+	s := &Site{Index: len(n.sites), Name: name}
+	n.sites = append(n.sites, s)
+	for i := range n.oneWay {
+		n.oneWay[i] = append(n.oneWay[i], 0)
+	}
+	n.oneWay = append(n.oneWay, make([]sim.Duration, len(n.sites)))
+	return s
+}
+
+// SetLatency sets the symmetric one-way propagation delay between two
+// sites. Use SetRTT for round-trip values as the paper reports them.
+func (n *Network) SetLatency(a, b *Site, oneWay sim.Duration) {
+	n.oneWay[a.Index][b.Index] = oneWay
+	n.oneWay[b.Index][a.Index] = oneWay
+}
+
+// SetRTT sets the symmetric propagation so that the round trip between
+// the two sites equals rtt.
+func (n *Network) SetRTT(a, b *Site, rtt sim.Duration) {
+	n.SetLatency(a, b, rtt/2)
+}
+
+// Latency reports the configured one-way delay between two sites.
+func (n *Network) Latency(a, b *Site) sim.Duration {
+	return n.oneWay[a.Index][b.Index]
+}
+
+// Sites returns all registered sites.
+func (n *Network) Sites() []*Site { return n.sites }
+
+// Hosts returns all hosts in creation order.
+func (n *Network) Hosts() []*Host { return n.hosts }
+
+// HostByIP resolves a public IP to its host (nil if unknown).
+func (n *Network) HostByIP(ip IP) *Host { return n.byIP[ip] }
+
+// SetDeliverHook installs a tap invoked for every packet that reaches any
+// host, before local processing. Used by tests and tracing.
+func (n *Network) SetDeliverHook(fn func(*Packet)) { n.deliverHook = fn }
+
+// NewPublicHost attaches a host with a routable IP directly to the WAN
+// through an access link of the given rate (bits/second in each
+// direction; 0 = unlimited) and access delay.
+func (n *Network) NewPublicHost(name string, site *Site, ip IP, rateBps float64, accessDelay sim.Duration) *Host {
+	if _, dup := n.byIP[ip]; dup {
+		panic(fmt.Sprintf("netsim: duplicate public IP %s", ip))
+	}
+	h := &Host{
+		net:      n,
+		name:     name,
+		site:     site,
+		ip:       ip,
+		up:       NewLink(n.eng, rateBps, accessDelay, 0),
+		down:     NewLink(n.eng, rateBps, accessDelay, 0),
+		udpPorts: make(map[uint16]*UDPSocket),
+	}
+	n.byIP[ip] = h
+	n.hosts = append(n.hosts, h)
+	return h
+}
+
+// AddAlias routes an additional public IP to an existing host (used by
+// the STUN server's alternate address).
+func (n *Network) AddAlias(h *Host, ip IP) {
+	if _, dup := n.byIP[ip]; dup {
+		panic(fmt.Sprintf("netsim: duplicate alias IP %s", ip))
+	}
+	h.aliases = append(h.aliases, ip)
+	n.byIP[ip] = h
+}
+
+// Lan is a switched local network at one site: every attached host gets a
+// dedicated full-duplex adapter at the LAN rate.
+type Lan struct {
+	net   *Network
+	site  *Site
+	name  string
+	rate  float64
+	delay sim.Duration
+	byIP  map[IP]*Host
+	hosts []*Host
+	gw    *Host
+}
+
+// NewLan creates a LAN at a site with the given per-adapter rate
+// (bits/second) and per-hop delay.
+func (n *Network) NewLan(name string, site *Site, rateBps float64, delay sim.Duration) *Lan {
+	return &Lan{
+		net:   n,
+		site:  site,
+		name:  name,
+		rate:  rateBps,
+		delay: delay,
+		byIP:  make(map[IP]*Host),
+	}
+}
+
+// NewHost attaches a new host to the LAN with a private address.
+func (l *Lan) NewHost(name string, privIP IP) *Host {
+	if _, dup := l.byIP[privIP]; dup {
+		panic(fmt.Sprintf("netsim: duplicate LAN IP %s on %s", privIP, l.name))
+	}
+	h := &Host{
+		net:      l.net,
+		name:     name,
+		site:     l.site,
+		ip:       privIP,
+		lan:      l,
+		lanUp:    NewLink(l.net.eng, l.rate, l.delay, 0),
+		lanDown:  NewLink(l.net.eng, l.rate, l.delay, 0),
+		udpPorts: make(map[uint16]*UDPSocket),
+	}
+	l.byIP[privIP] = h
+	l.hosts = append(l.hosts, h)
+	l.net.hosts = append(l.net.hosts, h)
+	return h
+}
+
+// AttachGateway joins an existing public host to this LAN with the given
+// private address, making it the LAN's default gateway. All non-local
+// traffic from LAN hosts is forwarded to it.
+func (l *Lan) AttachGateway(gw *Host, privIP IP) {
+	if _, dup := l.byIP[privIP]; dup {
+		panic(fmt.Sprintf("netsim: duplicate LAN IP %s on %s", privIP, l.name))
+	}
+	gw.lan = l
+	gw.lanIP = privIP
+	gw.lanUp = NewLink(l.net.eng, l.rate, l.delay, 0)
+	gw.lanDown = NewLink(l.net.eng, l.rate, l.delay, 0)
+	l.byIP[privIP] = gw
+	l.gw = gw
+}
+
+// Gateway returns the LAN's default gateway, if any.
+func (l *Lan) Gateway() *Host { return l.gw }
+
+// Hosts returns all hosts attached to the LAN (excluding the gateway).
+func (l *Lan) Hosts() []*Host { return l.hosts }
+
+// route moves a packet from a sending host toward its destination,
+// applying LAN hops, gateway forwarding and the WAN path.
+func (n *Network) route(from *Host, pkt *Packet) {
+	// Same-LAN delivery?
+	if from.lan != nil {
+		if dst, ok := from.lan.byIP[pkt.Dst.IP]; ok {
+			n.lanTransit(from, dst, pkt)
+			return
+		}
+		if !from.isPublic() {
+			// Private host sending off-LAN: forward to the gateway.
+			gw := from.lan.gw
+			if gw == nil {
+				n.NoRoute++
+				return
+			}
+			n.lanTransit(from, gw, pkt)
+			return
+		}
+	}
+	if from.isPublic() {
+		n.wanTransit(from, pkt)
+		return
+	}
+	n.NoRoute++
+}
+
+// lanTransit carries a packet one hop across a LAN: serialize on the
+// sender's adapter, then on the receiver's, then deliver.
+func (n *Network) lanTransit(from, to *Host, pkt *Packet) {
+	if !from.lanUp.Send(pkt.Wire, func() {
+		if !to.lanDown.Send(pkt.Wire, func() { n.deliver(to, pkt) }) {
+			n.QueueDrops++
+		}
+	}) {
+		n.QueueDrops++
+	}
+}
+
+// wanTransit carries a packet from a public host across the WAN to the
+// public host owning the destination IP.
+func (n *Network) wanTransit(from *Host, pkt *Packet) {
+	dst, ok := n.byIP[pkt.Dst.IP]
+	if !ok {
+		n.NoRoute++
+		return
+	}
+	if !from.up.Send(pkt.Wire, func() {
+		// Core propagation with optional jitter and loss.
+		if n.LossRate > 0 && n.eng.Rand().Float64() < n.LossRate {
+			n.LostWAN++
+			return
+		}
+		lat := n.oneWay[from.site.Index][dst.site.Index]
+		if n.JitterFrac > 0 && lat > 0 {
+			j := (n.eng.Rand().Float64()*2 - 1) * n.JitterFrac * float64(lat)
+			lat += sim.Duration(j)
+		}
+		n.eng.Schedule(lat, func() {
+			if !dst.down.Send(pkt.Wire, func() { n.deliver(dst, pkt) }) {
+				n.QueueDrops++
+			}
+		})
+	}) {
+		n.QueueDrops++
+	}
+}
+
+func (n *Network) deliver(h *Host, pkt *Packet) {
+	n.Delivered++
+	if n.deliverHook != nil {
+		n.deliverHook(pkt)
+	}
+	h.deliverLocal(pkt)
+}

@@ -1,0 +1,93 @@
+package rendezvous
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wavnet/internal/can"
+	"wavnet/internal/nat"
+	"wavnet/internal/netsim"
+	"wavnet/internal/sim"
+)
+
+func TestPropertyMsgRoundTrips(t *testing.T) {
+	f := func(kind string, id uint64, name, errStr string, k int,
+		relayChan uint64, relayIP uint32, relayPort uint16,
+		recName string, mappedIP uint32, mappedPort uint16, natRaw uint8,
+		ax, ay float64) bool {
+		m := &Msg{
+			Kind: kind, ID: id, Name: name, Error: errStr, K: k,
+			RelayChan: relayChan,
+			RelayAddr: netsim.Addr{IP: netsim.IP(relayIP), Port: relayPort},
+			Rec: &HostRecord{
+				Name:   recName,
+				Mapped: netsim.Addr{IP: netsim.IP(mappedIP), Port: mappedPort},
+				NAT:    nat.Type(natRaw % 5),
+				Attrs:  can.Point{ax, ay},
+			},
+		}
+		got, err := Decode(Encode(m))
+		if err != nil {
+			return false
+		}
+		return got.Kind == m.Kind && got.ID == m.ID && got.Name == m.Name &&
+			got.Error == m.Error && got.K == m.K &&
+			got.RelayChan == m.RelayChan && got.RelayAddr == m.RelayAddr &&
+			got.Rec != nil && got.Rec.Name == m.Rec.Name &&
+			got.Rec.Mapped == m.Rec.Mapped && got.Rec.NAT == m.Rec.NAT &&
+			len(got.Rec.Attrs) == 2 &&
+			got.Rec.Attrs[0] == ax && got.Rec.Attrs[1] == ay
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDecodeNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		Decode(b) // error is fine; panic is not
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyLocatorMatrixStaysSymmetric(t *testing.T) {
+	f := func(pairs []uint16, rttsRaw []uint32) bool {
+		l := NewLocator()
+		names := []string{"a", "b", "c", "d", "e", "f"}
+		for i, pr := range pairs {
+			if i >= len(rttsRaw) {
+				break
+			}
+			x := names[int(pr)%len(names)]
+			y := names[int(pr>>8)%len(names)]
+			l.Report(x, y, sim.Duration(rttsRaw[i]%1e9))
+		}
+		m := l.Matrix()
+		for i := range m {
+			if m[i][i] != 0 {
+				return false
+			}
+			for j := range m[i] {
+				if m[i][j] != m[j][i] {
+					return false
+				}
+			}
+		}
+		return len(l.Hosts()) == len(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySelfReportIgnored(t *testing.T) {
+	l := NewLocator()
+	l.Report("a", "a", sim.Second)
+	if len(l.Hosts()) != 0 {
+		t.Fatalf("self-report created hosts: %v", l.Hosts())
+	}
+}

@@ -1,0 +1,587 @@
+// Package rendezvous implements WAVNet's rendezvous servers: publicly
+// addressable nodes that (1) register NATed hosts and keep a session
+// alive with them so connection requests can be relayed inward, (2)
+// organize themselves in a CAN overlay that indexes host resource
+// records, (3) broker UDP hole punching between pairs of hosts, and (4)
+// run the distance locator feeding the locality-sensitive grouping
+// strategy.
+package rendezvous
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"wavnet/internal/can"
+	"wavnet/internal/grouping"
+	"wavnet/internal/nat"
+	"wavnet/internal/netsim"
+	"wavnet/internal/sim"
+	"wavnet/internal/stun"
+)
+
+// DefaultPort is the well-known broker port.
+const DefaultPort = 4342
+
+// HostRecord is what the rendezvous layer knows about a registered host.
+type HostRecord struct {
+	Name   string      `json:"name"`
+	Mapped netsim.Addr `json:"mapped"` // NAT external address of the host's WAVNet socket
+	NAT    nat.Type    `json:"nat"`
+	// Attrs is the host's resource state (e.g. normalized CPU, memory),
+	// mapped to a CAN point for attribute queries.
+	Attrs can.Point `json:"attrs"`
+	// Server is the broker responsible for this host (where connection
+	// requests must be relayed through).
+	Server netsim.Addr `json:"server"`
+}
+
+// Wire message kinds between hosts and brokers, and between brokers.
+const (
+	kindJoin        = "join"
+	kindJoinAck     = "join-ack"
+	kindPulse       = "pulse"
+	kindLookup      = "lookup"
+	kindLookupReply = "lookup-reply"
+	kindConnect     = "connect"     // host -> its broker: connect me to <name>
+	kindIntroduce   = "introduce"   // broker -> broker: introduce my host to yours
+	kindIntroAck    = "intro-ack"   // broker -> broker: here is my host's record
+	kindPunchOrder  = "punch-order" // broker -> host: punch to this record
+	kindError       = "error"       // any -> requester
+	kindGroupQuery  = "group-query" // host -> broker: pick k mutually-near hosts
+	kindGroupReply  = "group-reply" //
+	kindRTTReport   = "rtt-report"  // host -> broker: measured RTTs to peers
+	kindRelayOrder  = "relay-order" // broker -> host: unpunchable pair, tunnel via relay
+)
+
+// Msg is the JSON envelope for all rendezvous traffic (it always starts
+// with '{', which keeps it distinguishable from the binary Packet
+// Assembler types on a shared socket).
+type Msg struct {
+	Kind  string      `json:"kind"`
+	ID    uint64      `json:"id,omitempty"`
+	Name  string      `json:"name,omitempty"`
+	Error string      `json:"error,omitempty"`
+	Rec   *HostRecord `json:"rec,omitempty"`
+	Peer  *HostRecord `json:"peer,omitempty"`
+
+	// Lookup / grouping.
+	Attrs   can.Point        `json:"attrs,omitempty"`
+	Records []HostRecord     `json:"records,omitempty"`
+	K       int              `json:"k,omitempty"`
+	Group   []string         `json:"group,omitempty"`
+	RTTs    map[string]int64 `json:"rtts,omitempty"` // peer name -> RTT ns
+
+	// Relay fallback (unpunchable NAT pairs).
+	RelayChan uint64      `json:"relayChan,omitempty"`
+	RelayAddr netsim.Addr `json:"relayAddr,omitempty"`
+}
+
+// Encode serializes a message.
+func Encode(m *Msg) []byte {
+	b, err := json.Marshal(m)
+	if err != nil {
+		panic("rendezvous: marshal: " + err.Error())
+	}
+	return b
+}
+
+// Decode parses a message.
+func Decode(b []byte) (*Msg, error) {
+	var m Msg
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Config tunes a rendezvous server.
+type Config struct {
+	Port       uint16       // broker port (default 4342)
+	CANPort    uint16       // CAN overlay port (default 4343)
+	STUNPort   uint16       // primary STUN port (default 3478)
+	SessionTTL sim.Duration // host records expire without pulses (default 60 s)
+	CANDims    int          // CAN dimensionality (default 2)
+
+	// DisableRelay turns off the relay fallback for unpunchable NAT
+	// pairs, restoring the paper's connect-refused behaviour.
+	DisableRelay bool
+	// RelayIdle expires relay channels with no traffic (default 120 s).
+	RelayIdle sim.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Port == 0 {
+		c.Port = DefaultPort
+	}
+	if c.CANPort == 0 {
+		c.CANPort = 4343
+	}
+	if c.STUNPort == 0 {
+		c.STUNPort = 3478
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 60 * sim.Second
+	}
+	if c.CANDims <= 0 {
+		c.CANDims = 2
+	}
+	if c.RelayIdle <= 0 {
+		c.RelayIdle = 120 * sim.Second
+	}
+	return c
+}
+
+type session struct {
+	rec      HostRecord
+	lastSeen sim.Time
+}
+
+// Server is one rendezvous server.
+type Server struct {
+	host *netsim.Host
+	eng  *sim.Engine
+	cfg  Config
+	sock *netsim.UDPSocket
+
+	can  *can.Node
+	stun *stun.Server
+
+	sessions map[string]*session
+	locator  *Locator
+	relays   map[uint64]*relayChannel
+
+	pendingIntro map[uint64]netsim.Addr // intro ID -> requester host addr
+
+	nextID uint64
+
+	// Stats.
+	Joins, Pulses, Connects, Lookups uint64
+	RelayedIntroductions             uint64
+	RelayChannels                    uint64 // channels ever created
+	RelayFrames, RelayBytes          uint64 // data-plane relay traffic
+}
+
+// NewServer starts a rendezvous server on a public host. stunAltIP must
+// be an unused public IP at the same host for the STUN alternate address.
+func NewServer(host *netsim.Host, stunAltIP netsim.IP, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		host:         host,
+		eng:          host.Engine(),
+		cfg:          cfg,
+		sessions:     make(map[string]*session),
+		relays:       make(map[uint64]*relayChannel),
+		pendingIntro: make(map[uint64]netsim.Addr),
+		locator:      NewLocator(),
+	}
+	sock, err := host.BindUDP(cfg.Port, s.onPacket)
+	if err != nil {
+		return nil, err
+	}
+	s.sock = sock
+	node, err := can.NewNode(host, cfg.CANPort, can.Config{Dims: cfg.CANDims})
+	if err != nil {
+		return nil, err
+	}
+	s.can = node
+	srv, err := stun.NewServer(host, stunAltIP, cfg.STUNPort, cfg.STUNPort+1)
+	if err != nil {
+		return nil, err
+	}
+	s.stun = srv
+	// Republish live session records into the CAN at half the TTL so
+	// they outlive their initial put as long as the host keeps pulsing.
+	sim.NewTicker(s.eng, cfg.SessionTTL/2, func() {
+		s.expire()
+		for _, ses := range s.sessions {
+			s.publish(ses.rec)
+		}
+	})
+	return s, nil
+}
+
+// publish writes a host record into the CAN index.
+func (s *Server) publish(rec HostRecord) {
+	if !s.can.Active() {
+		return
+	}
+	res := can.Resource{
+		ID:    rec.Name,
+		Key:   s.recordPoint(rec),
+		Value: can.MarshalValue(rec),
+	}
+	s.can.Put(res, 2*s.cfg.SessionTTL, func(error) {})
+}
+
+// Bootstrap makes this server the first CAN member.
+func (s *Server) Bootstrap() { s.can.Bootstrap() }
+
+// JoinOverlay joins the CAN via another server's overlay address.
+func (s *Server) JoinOverlay(seed netsim.Addr, cb func(error)) { s.can.Join(seed, cb) }
+
+// Addr returns the broker address hosts should contact.
+func (s *Server) Addr() netsim.Addr { return netsim.Addr{IP: s.host.IP(), Port: s.cfg.Port} }
+
+// OverlayAddr returns the CAN overlay address for other servers.
+func (s *Server) OverlayAddr() netsim.Addr { return s.can.Addr() }
+
+// STUNAddr returns the primary STUN address.
+func (s *Server) STUNAddr() netsim.Addr {
+	return netsim.Addr{IP: s.host.IP(), Port: s.cfg.STUNPort}
+}
+
+// Locator exposes the server's distance locator.
+func (s *Server) Locator() *Locator { return s.locator }
+
+// Shutdown closes the broker socket abruptly — a crash, not a graceful
+// leave. Registered sessions, pending introductions and relay channels
+// all become unreachable; established direct tunnels are unaffected
+// because the data plane never touches the broker.
+func (s *Server) Shutdown() { s.sock.Close() }
+
+// Sessions reports the number of live host sessions.
+func (s *Server) Sessions() int {
+	s.expire()
+	return len(s.sessions)
+}
+
+func (s *Server) expire() {
+	cutoff := s.eng.Now().Add(-s.cfg.SessionTTL)
+	for name, ses := range s.sessions {
+		if ses.lastSeen < cutoff {
+			delete(s.sessions, name)
+		}
+	}
+}
+
+func (s *Server) reply(to netsim.Addr, m *Msg) { s.sock.SendTo(to, Encode(m)) }
+
+func (s *Server) onPacket(pkt netsim.Packet) {
+	if len(pkt.Payload) > 0 && pkt.Payload[0] == RelayMagic {
+		s.onRelay(pkt)
+		return
+	}
+	m, err := Decode(pkt.Payload)
+	if err != nil {
+		return
+	}
+	switch m.Kind {
+	case kindJoin:
+		s.onJoin(pkt.Src, m)
+	case kindPulse:
+		s.onPulse(pkt.Src, m)
+	case kindLookup:
+		s.onLookup(pkt.Src, m)
+	case kindConnect:
+		s.onConnect(pkt.Src, m)
+	case kindIntroduce:
+		s.onIntroduce(pkt.Src, m)
+	case kindIntroAck:
+		s.onIntroAck(m)
+	case kindGroupQuery:
+		s.onGroupQuery(pkt.Src, m)
+	case kindRTTReport:
+		s.onRTTReport(m)
+	}
+}
+
+// onJoin registers a host and publishes its record into the CAN.
+func (s *Server) onJoin(src netsim.Addr, m *Msg) {
+	if m.Rec == nil || m.Rec.Name == "" {
+		s.reply(src, &Msg{Kind: kindError, ID: m.ID, Error: "bad join"})
+		return
+	}
+	s.Joins++
+	rec := *m.Rec
+	// The observed source is authoritative for the host's reachable
+	// address (it is the NAT mapping of the host's WAVNet socket).
+	rec.Mapped = src
+	rec.Server = s.Addr()
+	s.sessions[rec.Name] = &session{rec: rec, lastSeen: s.eng.Now()}
+	s.publish(rec)
+	s.reply(src, &Msg{Kind: kindJoinAck, ID: m.ID, Rec: &rec})
+}
+
+// recordPoint maps a host record to its CAN key: the attribute vector,
+// or a name hash when no attributes are given.
+func (s *Server) recordPoint(rec HostRecord) can.Point {
+	if len(rec.Attrs) == s.cfg.CANDims && rec.Attrs.Valid() {
+		return rec.Attrs
+	}
+	return namePoint(rec.Name, s.cfg.CANDims)
+}
+
+// namePoint hashes a name into a CAN point (FNV-1a per dimension).
+func namePoint(name string, dims int) can.Point {
+	p := make(can.Point, dims)
+	var h uint64 = 14695981039346656037
+	for d := 0; d < dims; d++ {
+		for i := 0; i < len(name); i++ {
+			h ^= uint64(name[i])
+			h *= 1099511628211
+		}
+		h ^= uint64(d+1) * 0x9E3779B97F4A7C15
+		h *= 1099511628211
+		p[d] = float64(h%1_000_000) / 1_000_000
+	}
+	return p
+}
+
+func (s *Server) onPulse(src netsim.Addr, m *Msg) {
+	s.Pulses++
+	if ses, ok := s.sessions[m.Name]; ok {
+		ses.lastSeen = s.eng.Now()
+		ses.rec.Mapped = src
+	}
+}
+
+func (s *Server) onRTTReport(m *Msg) {
+	for peer, ns := range m.RTTs {
+		s.locator.Report(m.Name, peer, sim.Duration(ns))
+	}
+}
+
+// onLookup serves resource queries: by name (local, then CAN), or by
+// attribute point (CAN owner's records).
+func (s *Server) onLookup(src netsim.Addr, m *Msg) {
+	s.Lookups++
+	s.expire()
+	if m.Name != "" {
+		if ses, ok := s.sessions[m.Name]; ok {
+			s.reply(src, &Msg{Kind: kindLookupReply, ID: m.ID, Records: []HostRecord{ses.rec}})
+			return
+		}
+		// Route through the CAN by name hash.
+		id := m.ID
+		s.can.Lookup(namePoint(m.Name, s.cfg.CANDims), func(res can.LookupResult, err error) {
+			if err != nil {
+				s.reply(src, &Msg{Kind: kindError, ID: id, Error: err.Error()})
+				return
+			}
+			var recs []HostRecord
+			for _, r := range res.Resources {
+				if r.ID != m.Name {
+					continue
+				}
+				var rec HostRecord
+				if json.Unmarshal(r.Value, &rec) == nil {
+					recs = append(recs, rec)
+				}
+			}
+			s.reply(src, &Msg{Kind: kindLookupReply, ID: id, Records: recs})
+		})
+		return
+	}
+	if m.Attrs != nil {
+		id := m.ID
+		s.can.Lookup(m.Attrs, func(res can.LookupResult, err error) {
+			if err != nil {
+				s.reply(src, &Msg{Kind: kindError, ID: id, Error: err.Error()})
+				return
+			}
+			var recs []HostRecord
+			for _, r := range res.Resources {
+				var rec HostRecord
+				if json.Unmarshal(r.Value, &rec) == nil {
+					recs = append(recs, rec)
+				}
+			}
+			sort.Slice(recs, func(i, j int) bool { return recs[i].Name < recs[j].Name })
+			s.reply(src, &Msg{Kind: kindLookupReply, ID: id, Records: recs})
+		})
+		return
+	}
+	// No criteria: all local sessions (diagnostics).
+	var recs []HostRecord
+	for _, ses := range s.sessions {
+		recs = append(recs, ses.rec)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Name < recs[j].Name })
+	s.reply(src, &Msg{Kind: kindLookupReply, ID: m.ID, Records: recs})
+}
+
+// onConnect brokers a connection: find the target (locally or via its
+// own server), have both sides told to punch simultaneously.
+func (s *Server) onConnect(src netsim.Addr, m *Msg) {
+	s.Connects++
+	requester, ok := s.sessions[m.Name]
+	_ = requester
+	if !ok && m.Rec == nil {
+		s.reply(src, &Msg{Kind: kindError, ID: m.ID, Error: "requester not registered"})
+		return
+	}
+	reqRec := s.sessions[m.Name].rec
+	target := m.Peer.Name
+
+	if ses, local := s.sessions[target]; local {
+		// Both hosts are ours: order both to punch.
+		s.orderPunch(reqRec, ses.rec, m.ID, src)
+		return
+	}
+	// Find the target's record through the CAN, then ask its server.
+	id := m.ID
+	s.can.Lookup(namePoint(target, s.cfg.CANDims), func(res can.LookupResult, err error) {
+		if err != nil {
+			s.reply(src, &Msg{Kind: kindError, ID: id, Error: "target lookup: " + err.Error()})
+			return
+		}
+		for _, r := range res.Resources {
+			if r.ID != target {
+				continue
+			}
+			var rec HostRecord
+			if json.Unmarshal(r.Value, &rec) != nil {
+				continue
+			}
+			// Relay through the target's own broker so it can notify the
+			// target over the maintained NAT session.
+			s.RelayedIntroductions++
+			s.nextID++
+			introID := s.nextID
+			s.pendingIntro[introID] = src
+			s.sock.SendTo(rec.Server, Encode(&Msg{
+				Kind: kindIntroduce, ID: introID, Name: target, Rec: &reqRec,
+			}))
+			return
+		}
+		s.reply(src, &Msg{Kind: kindError, ID: id, Error: "target not found: " + target})
+	})
+}
+
+// orderPunch tells both hosts about each other; pairs hole punching
+// cannot traverse fall back to a relay channel through this broker.
+func (s *Server) orderPunch(a, b HostRecord, id uint64, requester netsim.Addr) {
+	if !nat.Punchable(a.NAT, b.NAT) {
+		if s.cfg.DisableRelay {
+			s.reply(requester, &Msg{Kind: kindError, ID: id,
+				Error: fmt.Sprintf("unpunchable NAT pair %v/%v", a.NAT, b.NAT)})
+			return
+		}
+		s.orderRelay(a, b, id, requester)
+		return
+	}
+	s.reply(a.Mapped, &Msg{Kind: kindPunchOrder, ID: id, Peer: &b})
+	s.reply(b.Mapped, &Msg{Kind: kindPunchOrder, Peer: &a})
+}
+
+// onIntroduce (at the target's server): notify our host and ack with its
+// record. Unpunchable pairs get a relay channel hosted *here* (the
+// target's broker), because only this server has a live NAT session to
+// the target; the requester reaches any public address on its own.
+func (s *Server) onIntroduce(src netsim.Addr, m *Msg) {
+	ses, ok := s.sessions[m.Name]
+	if !ok {
+		s.reply(src, &Msg{Kind: kindError, ID: m.ID, Error: "unknown host " + m.Name})
+		return
+	}
+	if m.Rec != nil && !nat.Punchable(m.Rec.NAT, ses.rec.NAT) {
+		if s.cfg.DisableRelay {
+			s.reply(src, &Msg{Kind: kindError, ID: m.ID,
+				Error: fmt.Sprintf("unpunchable NAT pair %v/%v", m.Rec.NAT, ses.rec.NAT)})
+			return
+		}
+		// The requester's relay endpoint cannot be predicted (it may sit
+		// behind a symmetric NAT); it is learned from its first envelope.
+		ch := s.newRelayChannel(ses.rec.Name, m.Rec.Name, ses.rec.Mapped, netsim.Addr{})
+		s.reply(ses.rec.Mapped, &Msg{Kind: kindRelayOrder, Peer: m.Rec,
+			RelayChan: ch.id, RelayAddr: s.Addr()})
+		s.reply(src, &Msg{Kind: kindIntroAck, ID: m.ID, Rec: &ses.rec,
+			RelayChan: ch.id, RelayAddr: s.Addr()})
+		return
+	}
+	// Tell our host to punch toward the requester.
+	s.reply(ses.rec.Mapped, &Msg{Kind: kindPunchOrder, Peer: m.Rec})
+	// Hand the record back to the requester's server.
+	s.reply(src, &Msg{Kind: kindIntroAck, ID: m.ID, Rec: &ses.rec})
+}
+
+// onIntroAck (back at the requester's server): order our host to punch,
+// or to use the relay channel the target's server allocated.
+func (s *Server) onIntroAck(m *Msg) {
+	host, ok := s.pendingIntro[m.ID]
+	if !ok {
+		return
+	}
+	delete(s.pendingIntro, m.ID)
+	if m.Error != "" || m.Rec == nil {
+		s.reply(host, &Msg{Kind: kindError, ID: m.ID, Error: m.Error})
+		return
+	}
+	if m.RelayChan != 0 {
+		s.reply(host, &Msg{Kind: kindRelayOrder, ID: m.ID, Peer: m.Rec,
+			RelayChan: m.RelayChan, RelayAddr: m.RelayAddr})
+		return
+	}
+	s.reply(host, &Msg{Kind: kindPunchOrder, ID: m.ID, Peer: m.Rec})
+}
+
+// onGroupQuery runs the locality-sensitive grouping over the locator's
+// latency matrix.
+func (s *Server) onGroupQuery(src netsim.Addr, m *Msg) {
+	names, err := s.locator.Group(m.K)
+	if err != nil {
+		s.reply(src, &Msg{Kind: kindError, ID: m.ID, Error: err.Error()})
+		return
+	}
+	s.reply(src, &Msg{Kind: kindGroupReply, ID: m.ID, Group: names})
+}
+
+// Locator is the distance locator: it accumulates pairwise RTT
+// observations between named hosts and answers k-group queries with the
+// paper's O(N·k) locality-sensitive algorithm.
+type Locator struct {
+	names map[string]int
+	order []string
+	rtts  [][]sim.Duration
+}
+
+// NewLocator returns an empty locator.
+func NewLocator() *Locator {
+	return &Locator{names: make(map[string]int)}
+}
+
+func (l *Locator) idx(name string) int {
+	if i, ok := l.names[name]; ok {
+		return i
+	}
+	i := len(l.order)
+	l.names[name] = i
+	l.order = append(l.order, name)
+	for r := range l.rtts {
+		l.rtts[r] = append(l.rtts[r], 0)
+	}
+	l.rtts = append(l.rtts, make([]sim.Duration, i+1))
+	return i
+}
+
+// Report records a measured RTT between two hosts (stored symmetrically,
+// per the paper's symmetry assumption).
+func (l *Locator) Report(a, b string, rtt sim.Duration) {
+	if a == b {
+		return
+	}
+	i, j := l.idx(a), l.idx(b)
+	l.rtts[i][j] = rtt
+	l.rtts[j][i] = rtt
+}
+
+// Hosts returns the known host names.
+func (l *Locator) Hosts() []string { return append([]string(nil), l.order...) }
+
+// Matrix exposes the accumulated RTT matrix (rows indexed like Hosts).
+func (l *Locator) Matrix() [][]sim.Duration { return l.rtts }
+
+// Group selects k mutually-near hosts using the locality-sensitive
+// approximation and returns their names.
+func (l *Locator) Group(k int) ([]string, error) {
+	sel, err := grouping.LocalitySensitive(l.rtts, k)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(sel))
+	for i, idx := range sel {
+		names[i] = l.order[idx]
+	}
+	return names, nil
+}

@@ -1,0 +1,340 @@
+// Package scenario builds the evaluation topologies of the paper:
+//
+//   - the real Asia-Pacific WAN of Table I (seven sites, measured RTTs to
+//     HKU, access bandwidths calibrated to the paper's reported WAVNet
+//     throughputs), and
+//   - the emulated WAN (NATed PCs behind gateways whose uplinks are
+//     shaped to a configurable rate, like the paper's iptables + tc
+//     testbed).
+//
+// A World owns the physical network plus helpers that bring WAVNet, the
+// IPOP baseline, or a raw "physical" data path up on any machine subset.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"wavnet/internal/can"
+	"wavnet/internal/core"
+	"wavnet/internal/ether"
+	"wavnet/internal/ipop"
+	"wavnet/internal/ipstack"
+	"wavnet/internal/nat"
+	"wavnet/internal/netsim"
+	"wavnet/internal/rendezvous"
+	"wavnet/internal/sim"
+)
+
+// Spec describes one machine of a topology.
+type Spec struct {
+	Key       string
+	RTTToHub  sim.Duration // round trip to the hub site (HKU)
+	AccessBps float64      // gateway uplink/downlink rate
+	NAT       nat.Type
+	// Attrs is the machine's resource-state vector (e.g. normalized CPU
+	// and memory), indexed by the rendezvous layer's CAN for attribute
+	// queries. Optional; length must match the CAN dimensionality (2).
+	Attrs can.Point
+}
+
+// RealWANSpecs reproduces Table I. RTTs are the paper's ping latencies;
+// access bandwidths are calibrated so that measured WAVNet throughput
+// lands near the paper's reported values (Tables IV and V).
+func RealWANSpecs() []Spec {
+	ms := func(v float64) sim.Duration { return sim.Duration(v * float64(time.Millisecond)) }
+	return []Spec{
+		{Key: "HKU1", RTTToHub: ms(0.5), AccessBps: 100e6, NAT: nat.FullCone},
+		{Key: "HKU2", RTTToHub: ms(0.5), AccessBps: 100e6, NAT: nat.FullCone},
+		{Key: "HKU3", RTTToHub: ms(0.5), AccessBps: 100e6, NAT: nat.RestrictedCone},
+		{Key: "PU", RTTToHub: ms(30.2), AccessBps: 50e6, NAT: nat.RestrictedCone},
+		{Key: "Sinica", RTTToHub: ms(24.8), AccessBps: 48e6, NAT: nat.FullCone},
+		{Key: "AIST", RTTToHub: ms(75.8), AccessBps: 60e6, NAT: nat.PortRestrictedCone},
+		{Key: "SDSC", RTTToHub: ms(271.2), AccessBps: 30e6, NAT: nat.FullCone},
+		{Key: "OffCam", RTTToHub: ms(4.4), AccessBps: 95e6, NAT: nat.PortRestrictedCone},
+		{Key: "SIAT", RTTToHub: ms(74.2), AccessBps: 21e6, NAT: nat.RestrictedCone},
+	}
+}
+
+// RealWANOverrides lists measured pairwise RTTs that deviate from the
+// hub-sum approximation (Table II reports SIAT–PU directly).
+func RealWANOverrides() map[[2]string]sim.Duration {
+	return map[[2]string]sim.Duration{
+		{"SIAT", "PU"}: 219427 * time.Microsecond,
+	}
+}
+
+// Machine is one physical host of a scenario with its optional overlay
+// attachments.
+type Machine struct {
+	Key   string
+	Index int
+	Spec  Spec
+	Phys  *netsim.Host
+	GW    *nat.Gateway
+
+	WAV  *core.Host
+	IPOP *ipop.Node
+
+	// VIP is the machine's virtual address on the WAVNet LAN (10.1.0.x);
+	// the IPOP dom0 uses 10.2.0.x.
+	VIP     netsim.IP
+	IPOPVIP netsim.IP
+
+	physStacks map[string]*ipstack.Stack
+}
+
+// Dom0 returns the machine's WAVNet management stack (nil before
+// WAVNetUp).
+func (m *Machine) Dom0() *ipstack.Stack {
+	if m.WAV == nil {
+		return nil
+	}
+	return m.WAV.Dom0()
+}
+
+// World is a built scenario.
+type World struct {
+	Eng      *sim.Engine
+	Net      *netsim.Network
+	Hub      *netsim.Site
+	Rdv      *rendezvous.Server
+	Machines []*Machine
+	byKey    map[string]*Machine
+
+	IPOPNet *ipop.Network
+
+	physPort uint16
+}
+
+// M returns a machine by key, panicking on unknown keys (scenario wiring
+// errors are programming errors).
+func (w *World) M(key string) *Machine {
+	m, ok := w.byKey[key]
+	if !ok {
+		panic("scenario: unknown machine " + key)
+	}
+	return m
+}
+
+// Build constructs a world from specs: a hub site holding the rendezvous
+// server, plus one NATed machine per spec at its own site.
+func Build(seed int64, specs []Spec, overrides map[[2]string]sim.Duration) (*World, error) {
+	w := &World{
+		Eng:      sim.NewEngine(seed),
+		byKey:    make(map[string]*Machine),
+		physPort: 4700,
+	}
+	w.Net = netsim.New(w.Eng)
+	w.Hub = w.Net.NewSite("hub")
+
+	rdvHost := w.Net.NewPublicHost("rdv", w.Hub, netsim.MustParseIP("50.0.0.1"), 1e9, 100*time.Microsecond)
+	rdv, err := rendezvous.NewServer(rdvHost, netsim.MustParseIP("50.0.0.2"), rendezvous.Config{})
+	if err != nil {
+		return nil, err
+	}
+	rdv.Bootstrap()
+	w.Rdv = rdv
+
+	sites := make([]*netsim.Site, len(specs))
+	for i, sp := range specs {
+		site := w.Net.NewSite(sp.Key)
+		sites[i] = site
+		w.Net.SetRTT(w.Hub, site, sp.RTTToHub)
+		for j := 0; j < i; j++ {
+			rtt := sp.RTTToHub + specs[j].RTTToHub
+			if overrides != nil {
+				if v, ok := overrides[[2]string{sp.Key, specs[j].Key}]; ok {
+					rtt = v
+				} else if v, ok := overrides[[2]string{specs[j].Key, sp.Key}]; ok {
+					rtt = v
+				}
+			}
+			w.Net.SetRTT(site, sites[j], rtt)
+		}
+		gwIP := netsim.MakeIP(60, byte(i+1), 0, 1)
+		gw := w.Net.NewPublicHost("gw-"+sp.Key, site, gwIP, sp.AccessBps, 100*time.Microsecond)
+		lan := w.Net.NewLan("lan-"+sp.Key, site, 1e9, 50*time.Microsecond)
+		lan.AttachGateway(gw, netsim.MustParseIP("192.168.0.1"))
+		m := &Machine{
+			Key:        sp.Key,
+			Index:      i,
+			Spec:       sp,
+			GW:         nat.Attach(gw, sp.NAT),
+			VIP:        netsim.MakeIP(10, 1, byte(i/250), byte(i%250+1)),
+			IPOPVIP:    netsim.MakeIP(10, 2, byte(i/250), byte(i%250+1)),
+			physStacks: make(map[string]*ipstack.Stack),
+		}
+		m.Phys = lan.NewHost("pc-"+sp.Key, netsim.MustParseIP("192.168.0.2"))
+		w.Machines = append(w.Machines, m)
+		w.byKey[sp.Key] = m
+	}
+	return w, nil
+}
+
+// EmulatedWANSpecs builds n identical NATed PCs whose WAN access is
+// shaped to wanBps — the paper's emulated testbed. Round trips between
+// any two PCs are ≈2 ms (campus-scale).
+func EmulatedWANSpecs(n int, wanBps float64) []Spec {
+	specs := make([]Spec, n)
+	for i := range specs {
+		typ := nat.FullCone
+		switch i % 3 {
+		case 1:
+			typ = nat.RestrictedCone
+		case 2:
+			typ = nat.PortRestrictedCone
+		}
+		specs[i] = Spec{
+			Key:       fmt.Sprintf("pc%02d", i),
+			RTTToHub:  time.Millisecond,
+			AccessBps: wanBps,
+			NAT:       typ,
+		}
+	}
+	return specs
+}
+
+// WAVNetUp joins the listed machines (all, when none given) to the
+// rendezvous server, creates their Dom0 stacks, and establishes the full
+// tunnel mesh among them. It drives the engine internally.
+func (w *World) WAVNetUp(keys ...string) error {
+	ms := w.pick(keys)
+	errs := make([]error, len(ms))
+	for i, m := range ms {
+		i, m := i, m
+		if m.WAV != nil {
+			continue
+		}
+		h, err := core.NewHost(m.Phys, m.Key, core.Config{Attrs: m.Spec.Attrs})
+		if err != nil {
+			return err
+		}
+		m.WAV = h
+		w.Eng.Spawn("join-"+m.Key, func(p *sim.Proc) {
+			if errs[i] = h.Join(p, w.Rdv.Addr()); errs[i] != nil {
+				return
+			}
+			h.CreateDom0(m.VIP)
+		})
+	}
+	w.Eng.RunFor(30 * time.Second)
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("scenario: join %s: %w", ms[i].Key, err)
+		}
+	}
+	// Full mesh among the subset, staggered so thousands of setup
+	// exchanges do not collide in the same instant.
+	pending := 0
+	var firstErr error
+	stagger := time.Duration(0)
+	for i := range ms {
+		for j := i + 1; j < len(ms); j++ {
+			a, b := ms[i], ms[j]
+			if _, ok := a.WAV.Tunnel(b.Key); ok {
+				continue
+			}
+			pending++
+			delay := stagger
+			stagger += 10 * time.Millisecond
+			w.Eng.Schedule(delay, func() {
+				w.Eng.Spawn("mesh", func(p *sim.Proc) {
+					if _, err := a.WAV.ConnectTo(p, b.Key); err != nil && firstErr == nil {
+						firstErr = fmt.Errorf("scenario: connect %s-%s: %w", a.Key, b.Key, err)
+					}
+					pending--
+				})
+			})
+		}
+	}
+	w.Eng.RunFor(2*time.Minute + stagger)
+	if firstErr != nil {
+		return firstErr
+	}
+	if pending != 0 {
+		return fmt.Errorf("scenario: %d tunnels still pending", pending)
+	}
+	return nil
+}
+
+// IPOPUp brings the IPOP baseline up on the listed machines.
+func (w *World) IPOPUp(keys ...string) error {
+	ms := w.pick(keys)
+	if w.IPOPNet == nil {
+		w.IPOPNet = ipop.New(w.Eng, ipop.Config{})
+	}
+	for _, m := range ms {
+		if m.IPOP != nil {
+			continue
+		}
+		node, err := w.IPOPNet.AddNode(m.Phys, m.Key)
+		if err != nil {
+			return err
+		}
+		m.IPOP = node
+	}
+	w.IPOPNet.Build()
+	failed := -1
+	w.Eng.Spawn("ipop-bootstrap", func(p *sim.Proc) {
+		failed = w.IPOPNet.Bootstrap(p, w.Rdv.STUNAddr())
+	})
+	w.Eng.RunFor(60 * time.Second)
+	if failed != 0 {
+		return fmt.Errorf("scenario: ipop bootstrap left %d links down", failed)
+	}
+	for _, m := range ms {
+		if m.IPOP.Dom0() == nil {
+			m.IPOP.CreateDom0(m.IPOPVIP)
+		}
+	}
+	return nil
+}
+
+// PhysicalPair sets up the native-performance baseline between two
+// machines: stacks joined by a raw UDP frame relay with no overlay
+// processing (only UDP/IP encapsulation), holes pre-punched by
+// simultaneous hellos. Returns the two stacks.
+func (w *World) PhysicalPair(a, b *Machine) (*ipstack.Stack, *ipstack.Stack, error) {
+	if st, ok := a.physStacks[b.Key]; ok {
+		return st, b.physStacks[a.Key], nil
+	}
+	w.physPort++
+	port := w.physPort
+	la, err := newRawLink(a.Phys, port)
+	if err != nil {
+		return nil, nil, err
+	}
+	lb, err := newRawLink(b.Phys, port)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Discover external mappings via the rendezvous STUN service and
+	// punch simultaneously.
+	okA, okB := false, false
+	w.Eng.Spawn("phys-punch-a", func(p *sim.Proc) { okA = la.punch(p, w.Rdv.STUNAddr(), &lb.peer) })
+	w.Eng.Spawn("phys-punch-b", func(p *sim.Proc) { okB = lb.punch(p, w.Rdv.STUNAddr(), &la.peer) })
+	w.Eng.RunFor(15 * time.Second)
+	if !okA || !okB {
+		return nil, nil, fmt.Errorf("scenario: physical punch %s-%s failed", a.Key, b.Key)
+	}
+	mtu := 1472 - ether.HeaderLen
+	sa := ipstack.New(w.Eng, a.Key+"-phys", la, ether.SeqMAC(uint32(1000+a.Index)),
+		netsim.MakeIP(10, 9, byte(a.Index), 1), ipstack.Config{MTU: mtu})
+	sb := ipstack.New(w.Eng, b.Key+"-phys", lb, ether.SeqMAC(uint32(1000+b.Index)),
+		netsim.MakeIP(10, 9, byte(a.Index), 2), ipstack.Config{MTU: mtu})
+	a.physStacks[b.Key] = sa
+	b.physStacks[a.Key] = sb
+	return sa, sb, nil
+}
+
+func (w *World) pick(keys []string) []*Machine {
+	if len(keys) == 0 {
+		return w.Machines
+	}
+	out := make([]*Machine, len(keys))
+	for i, k := range keys {
+		out[i] = w.M(k)
+	}
+	return out
+}

@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrStopped is the panic value used to unwind a parked process when the
+// engine shuts down. Process bodies should not recover it; the spawn
+// wrapper does.
+var ErrStopped = errors.New("sim: engine stopped")
+
+// Proc is a simulation process: a goroutine whose execution is interleaved
+// with the event loop so that at most one simulation goroutine runs at any
+// instant. Inside a Proc, code may call Sleep, Park and the blocking
+// helpers of higher-level packages (sockets, queues) as if they were
+// ordinary blocking calls.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan procSignal
+	yield  chan struct{}
+	parked bool
+	dead   bool
+
+	// wake event for Sleep, so Interrupt can cancel it.
+	sleepEv *Event
+
+	interrupted bool
+}
+
+type procSignal int
+
+const (
+	sigRun procSignal = iota
+	sigStop
+	sigInterrupt
+)
+
+// Spawn starts fn as a new process immediately (at the current virtual
+// time, as a scheduled event). The name is used in diagnostics only.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan procSignal),
+		yield:  make(chan struct{}),
+	}
+	e.procs[p] = struct{}{}
+	go func() {
+		sig := <-p.resume // wait for first activation
+		if sig != sigStop {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if err, ok := r.(error); !ok || !errors.Is(err, ErrStopped) {
+							panic(r) // real bug: re-panic
+						}
+					}
+				}()
+				fn(p)
+			}()
+		}
+		p.dead = true
+		delete(e.procs, p)
+		p.yield <- struct{}{} // give control back to the engine
+	}()
+	e.Schedule(0, func() { p.activate(sigRun) })
+	return p
+}
+
+// activate transfers control to the process goroutine and blocks until it
+// parks or finishes. Must be called from engine (event) context.
+func (p *Proc) activate(sig procSignal) {
+	if p.dead {
+		return
+	}
+	prev := p.eng.current
+	p.eng.current = p
+	p.resume <- sig
+	<-p.yield
+	p.eng.current = prev
+}
+
+// park suspends the process, returning control to the event loop. It
+// resumes when some event calls activate. Returns the signal used to
+// resume.
+func (p *Proc) park() procSignal {
+	p.parked = true
+	p.yield <- struct{}{}
+	sig := <-p.resume
+	p.parked = false
+	if sig == sigStop {
+		panic(ErrStopped)
+	}
+	return sig
+}
+
+// unwind forces a parked process to panic with ErrStopped so that its
+// deferred functions run and the goroutine exits. Engine use only.
+func (p *Proc) unwind() {
+	if p.dead || !p.parked {
+		return
+	}
+	p.resume <- sigStop
+	<-p.yield
+}
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the diagnostic name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.Now() }
+
+// Sleep suspends the process for virtual duration d. It returns true if
+// the sleep completed, false if Interrupt woke it early.
+func (p *Proc) Sleep(d Duration) bool {
+	p.checkContext("Sleep")
+	p.sleepEv = p.eng.Schedule(d, func() {
+		p.sleepEv = nil
+		p.activate(sigRun)
+	})
+	sig := p.park()
+	if sig == sigInterrupt {
+		if p.sleepEv != nil {
+			p.eng.Cancel(p.sleepEv)
+			p.sleepEv = nil
+		}
+		p.interrupted = false
+		return false
+	}
+	return true
+}
+
+// Park suspends the process until another event calls Unpark (or the
+// engine stops). Returns true on a normal Unpark, false if Interrupt was
+// used.
+func (p *Proc) Park() bool {
+	p.checkContext("Park")
+	sig := p.park()
+	return sig == sigRun
+}
+
+// Unpark schedules the process to resume at the current virtual time.
+// It may be called from event context or from another process. Calling
+// Unpark on a process that is not parked is a no-op (the signal is not
+// remembered); use higher-level queues for lossless signalling.
+func (p *Proc) Unpark() {
+	if p.dead || !p.parked {
+		return
+	}
+	p.eng.Schedule(0, func() {
+		if !p.dead && p.parked {
+			p.activate(sigRun)
+		}
+	})
+}
+
+// Interrupt wakes a parked or sleeping process with an interrupt signal:
+// Sleep/Park return false. No-op if the process is not parked.
+func (p *Proc) Interrupt() {
+	if p.dead || !p.parked {
+		return
+	}
+	p.eng.Schedule(0, func() {
+		if !p.dead && p.parked {
+			p.activate(sigInterrupt)
+		}
+	})
+}
+
+// Dead reports whether the process has finished.
+func (p *Proc) Dead() bool { return p.dead }
+
+func (p *Proc) checkContext(op string) {
+	if p.eng.current != p {
+		panic(fmt.Sprintf("sim: %s called on proc %q from outside its own context", op, p.name))
+	}
+}
+
+// WaitQueue is a FIFO of parked processes, the building block for
+// condition-style blocking (socket buffers, channels, semaphores).
+// The zero value is ready to use.
+type WaitQueue struct {
+	waiters []*Proc
+}
+
+// Wait parks the calling process until Signal/Broadcast wakes it.
+// Returns false if the wait was interrupted.
+func (q *WaitQueue) Wait(p *Proc) bool {
+	q.waiters = append(q.waiters, p)
+	ok := p.Park()
+	if !ok {
+		// Remove ourselves if still queued (interrupt before signal).
+		for i, w := range q.waiters {
+			if w == p {
+				q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+				break
+			}
+		}
+	}
+	return ok
+}
+
+// Signal wakes the oldest waiter, if any.
+func (q *WaitQueue) Signal() {
+	for len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		if !w.dead {
+			w.Unpark()
+			return
+		}
+	}
+}
+
+// Broadcast wakes all current waiters.
+func (q *WaitQueue) Broadcast() {
+	ws := q.waiters
+	q.waiters = nil
+	for _, w := range ws {
+		if !w.dead {
+			w.Unpark()
+		}
+	}
+}
+
+// Len reports the number of parked waiters.
+func (q *WaitQueue) Len() int { return len(q.waiters) }
+
+// Semaphore is a counting semaphore for processes.
+type Semaphore struct {
+	n int
+	q WaitQueue
+}
+
+// NewSemaphore returns a semaphore with n initial permits.
+func NewSemaphore(n int) *Semaphore { return &Semaphore{n: n} }
+
+// Acquire takes a permit, blocking the process until one is available.
+// Returns false if interrupted.
+func (s *Semaphore) Acquire(p *Proc) bool {
+	for s.n == 0 {
+		if !s.q.Wait(p) {
+			return false
+		}
+	}
+	s.n--
+	return true
+}
+
+// Release returns a permit and wakes one waiter.
+func (s *Semaphore) Release() {
+	s.n++
+	s.q.Signal()
+}

@@ -1,0 +1,132 @@
+// Package stun implements the Simple Traversal of UDP through NATs
+// protocol (RFC 3489 era, as WAVNet used) over the simulated network:
+// a binary message codec, a server with primary/alternate addresses
+// honouring CHANGE-REQUEST, and a client that runs the classic
+// classification algorithm to detect the NAT type in front of a host.
+package stun
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"wavnet/internal/netsim"
+)
+
+// Message types.
+const (
+	TypeBindingRequest  = 0x0001
+	TypeBindingResponse = 0x0101
+)
+
+// Attribute types.
+const (
+	AttrMappedAddress  = 0x0001
+	AttrChangeRequest  = 0x0003
+	AttrSourceAddress  = 0x0004
+	AttrChangedAddress = 0x0005
+)
+
+// CHANGE-REQUEST flag bits.
+const (
+	ChangeIP   = 0x04
+	ChangePort = 0x02
+)
+
+// Message is a decoded STUN message.
+type Message struct {
+	Type    uint16
+	TxID    [16]byte
+	Mapped  netsim.Addr // MAPPED-ADDRESS
+	Source  netsim.Addr // SOURCE-ADDRESS
+	Changed netsim.Addr // CHANGED-ADDRESS
+	Change  uint8       // CHANGE-REQUEST flags
+}
+
+const headerLen = 20
+
+// Marshal encodes the message into wire format.
+func (m *Message) Marshal() []byte {
+	var attrs []byte
+	appendAddr := func(typ uint16, a netsim.Addr) {
+		attr := make([]byte, 4+8)
+		binary.BigEndian.PutUint16(attr[0:], typ)
+		binary.BigEndian.PutUint16(attr[2:], 8)
+		attr[4] = 0
+		attr[5] = 0x01 // family IPv4
+		binary.BigEndian.PutUint16(attr[6:], a.Port)
+		binary.BigEndian.PutUint32(attr[8:], uint32(a.IP))
+		attrs = append(attrs, attr...)
+	}
+	if !m.Mapped.IsZero() {
+		appendAddr(AttrMappedAddress, m.Mapped)
+	}
+	if !m.Source.IsZero() {
+		appendAddr(AttrSourceAddress, m.Source)
+	}
+	if !m.Changed.IsZero() {
+		appendAddr(AttrChangedAddress, m.Changed)
+	}
+	if m.Change != 0 {
+		attr := make([]byte, 4+4)
+		binary.BigEndian.PutUint16(attr[0:], AttrChangeRequest)
+		binary.BigEndian.PutUint16(attr[2:], 4)
+		attr[7] = m.Change
+		attrs = append(attrs, attr...)
+	}
+	out := make([]byte, headerLen+len(attrs))
+	binary.BigEndian.PutUint16(out[0:], m.Type)
+	binary.BigEndian.PutUint16(out[2:], uint16(len(attrs)))
+	copy(out[4:], m.TxID[:])
+	copy(out[headerLen:], attrs)
+	return out
+}
+
+// Unmarshal decodes a wire-format STUN message.
+func Unmarshal(b []byte) (*Message, error) {
+	if len(b) < headerLen {
+		return nil, errors.New("stun: short message")
+	}
+	m := &Message{Type: binary.BigEndian.Uint16(b[0:])}
+	length := int(binary.BigEndian.Uint16(b[2:]))
+	copy(m.TxID[:], b[4:headerLen])
+	if len(b) < headerLen+length {
+		return nil, errors.New("stun: truncated attributes")
+	}
+	attrs := b[headerLen : headerLen+length]
+	for len(attrs) >= 4 {
+		typ := binary.BigEndian.Uint16(attrs[0:])
+		alen := int(binary.BigEndian.Uint16(attrs[2:]))
+		if len(attrs) < 4+alen {
+			return nil, errors.New("stun: truncated attribute")
+		}
+		val := attrs[4 : 4+alen]
+		switch typ {
+		case AttrMappedAddress, AttrSourceAddress, AttrChangedAddress:
+			if alen != 8 {
+				return nil, fmt.Errorf("stun: bad address attribute length %d", alen)
+			}
+			a := netsim.Addr{
+				Port: binary.BigEndian.Uint16(val[2:]),
+				IP:   netsim.IP(binary.BigEndian.Uint32(val[4:])),
+			}
+			switch typ {
+			case AttrMappedAddress:
+				m.Mapped = a
+			case AttrSourceAddress:
+				m.Source = a
+			case AttrChangedAddress:
+				m.Changed = a
+			}
+		case AttrChangeRequest:
+			if alen != 4 {
+				return nil, errors.New("stun: bad change-request length")
+			}
+			m.Change = val[3]
+		default:
+			// Unknown attributes are skipped (comprehension-optional).
+		}
+		attrs = attrs[4+alen:]
+	}
+	return m, nil
+}

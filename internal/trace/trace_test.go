@@ -1,0 +1,241 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"wavnet/internal/ether"
+	"wavnet/internal/ipstack"
+	"wavnet/internal/netsim"
+	"wavnet/internal/scenario"
+	"wavnet/internal/sim"
+	"wavnet/internal/trace"
+	"wavnet/internal/vm"
+)
+
+// pipeWithTracer builds two stacks over a link pipe with a tracer
+// interposed on side A.
+func pipeWithTracer(seed int64) (*sim.Engine, *trace.Tracer, *ipstack.Stack, *ipstack.Stack) {
+	eng := sim.NewEngine(seed)
+	pipe := ether.NewLinkPipe(eng, 0, 5*time.Millisecond, 0)
+	tr := trace.Attach(eng, "tcpdump", pipe.A)
+	a := ipstack.New(eng, "a", tr, ether.SeqMAC(1), netsim.MustParseIP("10.0.0.1"), ipstack.Config{})
+	b := ipstack.New(eng, "b", pipe.B, ether.SeqMAC(2), netsim.MustParseIP("10.0.0.2"), ipstack.Config{})
+	return eng, tr, a, b
+}
+
+func TestTracerIsTransparent(t *testing.T) {
+	eng, tr, a, b := pipeWithTracer(1)
+	_ = b
+	var rtt sim.Duration
+	var err error
+	eng.Spawn("ping", func(p *sim.Proc) {
+		rtt, err = a.Ping(p, netsim.MustParseIP("10.0.0.2"), 56, 5*time.Second)
+	})
+	eng.Run()
+	if err != nil {
+		t.Fatalf("ping through tracer: %v", err)
+	}
+	if rtt < 10*time.Millisecond {
+		t.Fatalf("rtt %v below the 2×5 ms pipe delay", rtt)
+	}
+	// The capture holds both directions: ARP exchange + echo pair.
+	var out, in int
+	for _, r := range tr.Records() {
+		if r.Dir == trace.Out {
+			out++
+		} else {
+			in++
+		}
+	}
+	if out == 0 || in == 0 {
+		t.Fatalf("capture misses a direction: out=%d in=%d", out, in)
+	}
+}
+
+func TestCaptureLinesDecodeProtocols(t *testing.T) {
+	eng, tr, a, b := pipeWithTracer(1)
+	eng.Spawn("traffic", func(p *sim.Proc) {
+		a.Ping(p, netsim.MustParseIP("10.0.0.2"), 56, 5*time.Second)
+		// UDP datagram.
+		us, _ := a.BindUDP(0, nil)
+		ub, _ := b.BindUDP(7000, nil)
+		_ = ub
+		us.SendTo(netsim.Addr{IP: b.IP(), Port: 7000}, []byte("hello"))
+		p.Sleep(time.Second)
+		// TCP handshake.
+		lis, _ := b.Listen(8000)
+		_ = lis
+		if conn, err := a.Dial(p, netsim.Addr{IP: b.IP(), Port: 8000}); err == nil {
+			conn.Close()
+		}
+		p.Sleep(time.Second)
+	})
+	eng.RunFor(time.Minute)
+	var sb strings.Builder
+	if _, err := tr.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	dump := sb.String()
+	for _, want := range []string{
+		"ARP request who-has 10.0.0.2 tell 10.0.0.1",
+		"ICMP echo request",
+		"ICMP echo reply",
+		"UDP len 5",
+		"TCP [S]",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump lacks %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestFilterAndLimit(t *testing.T) {
+	eng, tr, a, b := pipeWithTracer(1)
+	_ = b
+	tr.SetFilter(trace.ARPOnly)
+	eng.Spawn("ping", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			a.Ping(p, netsim.MustParseIP("10.0.0.2"), 56, 5*time.Second)
+		}
+	})
+	eng.RunFor(time.Minute)
+	for _, r := range tr.Records() {
+		if r.Frame.Type != ether.TypeARP {
+			t.Fatalf("non-ARP frame passed the filter: %s", r.String())
+		}
+	}
+	if tr.Count() == 0 {
+		t.Fatal("filter dropped everything")
+	}
+
+	// Limit: re-run with a 1-frame cap.
+	eng2, tr2, a2, _ := pipeWithTracer(2)
+	tr2.SetLimit(1)
+	eng2.Spawn("ping", func(p *sim.Proc) {
+		a2.Ping(p, netsim.MustParseIP("10.0.0.2"), 56, 5*time.Second)
+	})
+	eng2.RunFor(time.Minute)
+	if tr2.Count() != 1 {
+		t.Fatalf("limit=1 kept %d records", tr2.Count())
+	}
+	if tr2.Dropped == 0 {
+		t.Fatal("overflow not counted")
+	}
+}
+
+func TestCombinedFilters(t *testing.T) {
+	r := &trace.Record{Frame: ether.GratuitousARP(ether.SeqMAC(3), netsim.MustParseIP("10.0.0.7"))}
+	if !trace.GratuitousARPOnly(r) {
+		t.Fatal("gratuitous ARP not recognized")
+	}
+	if !trace.Broadcast(r) {
+		t.Fatal("gratuitous ARP is broadcast")
+	}
+	if !trace.And(trace.ARPOnly, trace.Broadcast)(r) {
+		t.Fatal("And filter rejected a matching record")
+	}
+	req := &ether.ARP{Op: ether.ARPRequest, SenderIP: netsim.MustParseIP("10.0.0.1"), TargetIP: netsim.MustParseIP("10.0.0.2")}
+	plain := &trace.Record{Frame: &ether.Frame{Dst: ether.Broadcast, Type: ether.TypeARP, Payload: req.Marshal()}}
+	if trace.GratuitousARPOnly(plain) {
+		t.Fatal("ordinary ARP request classified as gratuitous")
+	}
+}
+
+func TestSummarizerHandlesMalformedFrames(t *testing.T) {
+	eng := sim.NewEngine(1)
+	pipe := ether.NewLinkPipe(eng, 0, time.Millisecond, 0)
+	tr := trace.Attach(eng, "t", pipe.A)
+	frames := []*ether.Frame{
+		{Type: ether.TypeARP, Payload: []byte{1, 2, 3}},          // short ARP
+		{Type: ether.TypeIPv4, Payload: []byte{0x45, 0}},         // short IP
+		{Type: ether.TypeIPv4, Payload: make([]byte, 24)},        // version 0
+		{Type: 0x86DD, Src: ether.SeqMAC(1), Payload: []byte{0}}, // IPv6: unknown
+		{Type: ether.TypeIPv4, Payload: ipWithProto(99)},         // odd proto
+		{Type: ether.TypeIPv4, Payload: ipWithProto(17)[:20+4]},  // truncated UDP
+		{Type: ether.TypeIPv4, Payload: ipWithProto(6)[:20+8]},   // truncated TCP
+	}
+	for _, f := range frames {
+		tr.Send(f) // must not panic
+	}
+	eng.Run()
+	recs := tr.Records()
+	if len(recs) != len(frames) {
+		t.Fatalf("captured %d of %d frames", len(recs), len(frames))
+	}
+	for i, r := range recs {
+		if r.String() == "" {
+			t.Fatalf("record %d rendered empty", i)
+		}
+	}
+	for _, want := range []string{"ARP malformed", "IP malformed", "ethertype 0x86dd",
+		"proto 99", "UDP malformed", "TCP malformed"} {
+		found := false
+		for _, r := range recs {
+			if strings.Contains(r.String(), want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no capture line contains %q", want)
+		}
+	}
+}
+
+// ipWithProto builds a minimal valid IPv4 packet with the given protocol
+// and a 24-byte body.
+func ipWithProto(proto byte) []byte {
+	b := make([]byte, 20+24)
+	b[0] = 0x45
+	b[9] = proto
+	return b
+}
+
+// TestGratuitousARPCapturedAcrossWAN reproduces the paper's §III.C
+// tcpdump observation: when live migration finishes, the VMM's
+// gratuitous ARP broadcast is tunneled by WAVNet and can be captured on
+// the tap of a *different* physical host across the WAN.
+func TestGratuitousARPCapturedAcrossWAN(t *testing.T) {
+	w, err := scenario.Build(1, scenario.RealWANSpecs(), scenario.RealWANOverrides())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WAVNetUp("HKU1", "HKU2", "SIAT"); err != nil {
+		t.Fatal(err)
+	}
+
+	// tcpdump on HKU2's tap: a bare tracer on a bridge port, no stack.
+	observer := trace.Attach(w.Eng, "tcpdump-hku2", w.M("HKU2").WAV.AttachVIF("tcpdump"))
+	observer.SetFilter(trace.GratuitousARPOnly)
+
+	// VM on SIAT, migrated to HKU1.
+	guest := vm.New(w.M("SIAT").WAV, "web", netsim.MustParseIP("10.1.0.50"), vm.Config{MemoryMB: 64})
+	var rep *vm.MigrationReport
+	var migErr error
+	w.Eng.Spawn("migrate", func(p *sim.Proc) {
+		rep, migErr = guest.Migrate(p, w.M("HKU1").WAV)
+	})
+	w.Eng.RunFor(10 * time.Minute)
+	if migErr != nil {
+		t.Fatalf("migration: %v", migErr)
+	}
+	if rep == nil || rep.Downtime <= 0 {
+		t.Fatalf("implausible migration report: %+v", rep)
+	}
+
+	rec, ok := observer.Find(func(r *trace.Record) bool { return true })
+	if !ok {
+		t.Fatal("observer captured no gratuitous ARP after migration")
+	}
+	line := rec.String()
+	if !strings.Contains(line, "ARP announce 10.1.0.50 is-at "+guest.MAC().String()) {
+		t.Fatalf("capture line does not announce the migrated VM: %s", line)
+	}
+	// The announcement must arrive after the migration finished (it is
+	// the resume-time broadcast), within a WAN RTT.
+	if rec.Time < rep.End.Add(-time.Second) {
+		t.Fatalf("gratuitous ARP at %v predates migration end %v", rec.Time, rep.End)
+	}
+}

@@ -1,0 +1,119 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"wavnet/internal/netsim"
+	"wavnet/internal/sim"
+)
+
+// TestMigrationReportInvariants randomizes the VM configuration and
+// checks that every migration report obeys the pre-copy algorithm's
+// structural invariants, whatever the parameters.
+func TestMigrationReportInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 8; trial++ {
+		memMB := 16 << rng.Intn(3)             // 16/32/64 MB
+		dirty := float64(500 + rng.Intn(4000)) // pages/s
+		maxRounds := 5 + rng.Intn(25)
+		cfg := Config{
+			MemoryMB:  memMB,
+			DirtyRate: dirty,
+			MaxRounds: maxRounds,
+		}
+		w := buildWorld(t, int64(trial+1), []float64{100e6, 100e6}, []sim.Duration{
+			10 * time.Millisecond, 20 * time.Millisecond,
+		})
+		guest := New(w.hosts[0], "vm", netsim.MakeIP(10, 0, 1, byte(trial+1)), cfg)
+		var rep *MigrationReport
+		var err error
+		w.eng.Spawn("migrate", func(p *sim.Proc) {
+			rep, err = guest.Migrate(p, w.hosts[1])
+		})
+		w.eng.RunFor(30 * time.Minute)
+		if err != nil {
+			t.Fatalf("trial %d (%+v): migrate: %v", trial, cfg, err)
+		}
+		if rep == nil {
+			t.Fatalf("trial %d: migration did not finish", trial)
+		}
+		total := rep.Total()
+		if rep.Downtime <= 0 || rep.Downtime > total {
+			t.Errorf("trial %d: downtime %v outside (0, total=%v]", trial, rep.Downtime, total)
+		}
+		if rep.Rounds < 1 || rep.Rounds > maxRounds+1 {
+			t.Errorf("trial %d: rounds %d outside [1, %d]", trial, rep.Rounds, maxRounds+1)
+		}
+		if rep.BytesSent < int64(memMB)<<20 {
+			t.Errorf("trial %d: sent %d bytes < memory size %d", trial, rep.BytesSent, int64(memMB)<<20)
+		}
+		if len(rep.RoundBytes) != rep.Rounds {
+			t.Errorf("trial %d: %d round records for %d rounds", trial, len(rep.RoundBytes), rep.Rounds)
+		}
+		var sum int64
+		for r, b := range rep.RoundBytes {
+			if b < 0 {
+				t.Errorf("trial %d: round %d negative bytes", trial, r)
+			}
+			sum += b
+		}
+		if sum != rep.BytesSent {
+			t.Errorf("trial %d: round bytes sum %d != total %d", trial, sum, rep.BytesSent)
+		}
+		// First round ships the whole image; later rounds only dirties.
+		if rep.Rounds > 1 && rep.RoundBytes[0] < rep.RoundBytes[rep.Rounds-1] {
+			t.Errorf("trial %d: final round (%d B) larger than full copy (%d B)",
+				trial, rep.RoundBytes[rep.Rounds-1], rep.RoundBytes[0])
+		}
+		if rep.From != w.hosts[0].Name() || rep.To != w.hosts[1].Name() {
+			t.Errorf("trial %d: report endpoints %s->%s", trial, rep.From, rep.To)
+		}
+		if guest.Host() != w.hosts[1] {
+			t.Errorf("trial %d: VM not rehomed", trial)
+		}
+	}
+}
+
+// TestMigrationUnderPacketLoss injects WAN loss and requires the
+// migration to complete anyway (the image moves over TCP, which
+// recovers), with a plausible report.
+func TestMigrationUnderPacketLoss(t *testing.T) {
+	w := buildWorld(t, 7, []float64{50e6, 50e6}, []sim.Duration{
+		15 * time.Millisecond, 30 * time.Millisecond,
+	})
+	w.nw.LossRate = 0.02
+	guest := New(w.hosts[0], "vm", netsim.MakeIP(10, 0, 2, 1), Config{MemoryMB: 32})
+	var rep *MigrationReport
+	var err error
+	w.eng.Spawn("migrate", func(p *sim.Proc) {
+		rep, err = guest.Migrate(p, w.hosts[1])
+	})
+	w.eng.RunFor(time.Hour)
+	if err != nil {
+		t.Fatalf("migration under loss: %v", err)
+	}
+	if rep == nil {
+		t.Fatal("migration did not finish under 2% loss")
+	}
+	if rep.BytesSent < 32<<20 {
+		t.Fatalf("sent %d bytes, want at least the image", rep.BytesSent)
+	}
+	// The VM answers on the far side even with lossy WAN.
+	var rtt sim.Duration
+	var pingErr error
+	w.eng.Spawn("ping", func(p *sim.Proc) {
+		rtt, pingErr = w.hosts[0].Dom0().Ping(p, guest.IP(), 56, 20*time.Second)
+		if pingErr != nil { // one echo may be unlucky under loss; retry once
+			rtt, pingErr = w.hosts[0].Dom0().Ping(p, guest.IP(), 56, 20*time.Second)
+		}
+	})
+	w.eng.RunFor(time.Minute)
+	if pingErr != nil {
+		t.Fatalf("migrated VM unreachable under loss: %v", pingErr)
+	}
+	if rtt <= 0 {
+		t.Fatal("no rtt to migrated VM")
+	}
+}

@@ -1,0 +1,340 @@
+// Package vm models virtual machines and Xen-style pre-copy live
+// migration over the virtual network (paper §II.C).
+//
+// A VM is a protocol stack plugged into a host's bridge through a
+// virtual interface, plus a memory image with a dirty-page process.
+// Migration transfers the image over a real TCP connection between the
+// source and destination hosts' management (Dom0) stacks — so migration
+// traffic shares links with the workload and the bandwidth dip of
+// Figure 9 emerges from the link model. Rounds follow Xen's pre-copy:
+// the first round copies every page, each later round copies the pages
+// dirtied during the previous one, and stop-and-copy pauses the VM to
+// send the final set. On resume the destination injects gratuitous ARP
+// broadcasts, which is what re-points WAV-Switch tables network-wide.
+package vm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"wavnet/internal/ether"
+	"wavnet/internal/ipstack"
+	"wavnet/internal/netsim"
+	"wavnet/internal/sim"
+)
+
+// HostPort is where a VM plugs in. Both core.Host (WAVNet) and ipop.Node
+// (the baseline) implement it.
+type HostPort interface {
+	Name() string
+	AttachVIF(name string) ether.NIC
+	DetachVIF(nic ether.NIC)
+	Dom0() *ipstack.Stack
+	NewMAC() ether.MAC
+	VirtualMTU() int
+}
+
+// Config tunes a VM.
+type Config struct {
+	MemoryMB int // default 256
+	PageSize int // default 4096
+	// DirtyRate is the page-dirtying rate (pages/second) while the VM
+	// runs; it drives pre-copy convergence (default 2000 ≈ 8 MB/s).
+	DirtyRate float64
+	// MaxRounds bounds pre-copy iterations (Xen uses ~30).
+	MaxRounds int
+	// StopCopyPages: when a round's dirty set is at most this many
+	// pages, pause and do the final copy (default 64 pages = 256 KB).
+	StopCopyPages int
+	// MigrationPort is the Dom0 TCP port used for image transfer.
+	MigrationPort uint16
+	// HandoffDelay models device re-attachment at the destination before
+	// the VM resumes (default 50 ms).
+	HandoffDelay sim.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MemoryMB <= 0 {
+		c.MemoryMB = 256
+	}
+	if c.PageSize <= 0 {
+		c.PageSize = 4096
+	}
+	if c.DirtyRate <= 0 {
+		c.DirtyRate = 2000
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 30
+	}
+	if c.StopCopyPages <= 0 {
+		c.StopCopyPages = 64
+	}
+	if c.MigrationPort == 0 {
+		c.MigrationPort = 8002
+	}
+	if c.HandoffDelay <= 0 {
+		c.HandoffDelay = 50 * sim.Millisecond
+	}
+	return c
+}
+
+// MigrationReport records one live migration.
+type MigrationReport struct {
+	VM         string
+	From, To   string
+	Start, End sim.Time
+	// Downtime is the stop-and-copy pause as perceived by the VM.
+	Downtime sim.Duration
+	Rounds   int
+	// BytesSent is the total image traffic, including re-sent dirty pages.
+	BytesSent  int64
+	RoundBytes []int64
+}
+
+// Total returns the wall-clock migration duration.
+func (r *MigrationReport) Total() sim.Duration { return r.End.Sub(r.Start) }
+
+// VM is a running virtual machine.
+type VM struct {
+	name  string
+	cfg   Config
+	eng   *sim.Engine
+	host  HostPort
+	vif   ether.NIC
+	stack *ipstack.Stack
+	mac   ether.MAC
+	ip    netsim.IP
+
+	running   bool
+	migrating bool
+
+	// Migrations lists completed migration reports.
+	Migrations []*MigrationReport
+}
+
+// Errors returned by VM operations.
+var (
+	ErrMigrating = errors.New("vm: migration already in progress")
+	ErrNotUp     = errors.New("vm: not running")
+)
+
+// New creates a VM on host with the given virtual IP and boots it
+// (attaches its NIC and stack).
+func New(host HostPort, name string, ip netsim.IP, cfg Config) *VM {
+	cfg = cfg.withDefaults()
+	v := &VM{
+		name: name,
+		cfg:  cfg,
+		eng:  host.Dom0().Engine(),
+		host: host,
+		mac:  host.NewMAC(),
+		ip:   ip,
+	}
+	v.vif = host.AttachVIF("vif-" + name)
+	v.stack = ipstack.New(v.eng, name, v.vif, v.mac, ip, ipstack.Config{MTU: host.VirtualMTU()})
+	v.running = true
+	return v
+}
+
+// Name returns the VM name.
+func (v *VM) Name() string { return v.name }
+
+// IP returns the VM's virtual address.
+func (v *VM) IP() netsim.IP { return v.ip }
+
+// MAC returns the VM's hardware address (stable across migrations).
+func (v *VM) MAC() ether.MAC { return v.mac }
+
+// Stack is the VM's protocol stack; applications run on it.
+func (v *VM) Stack() *ipstack.Stack { return v.stack }
+
+// Host returns the current physical host.
+func (v *VM) Host() HostPort { return v.host }
+
+// Running reports whether the VM is executing (false while paused).
+func (v *VM) Running() bool { return v.running }
+
+// Pause stops the VM: its NIC detaches and traffic in both directions is
+// dropped (timers inside the guest keep running — a documented
+// simplification; externally observed behaviour matches a paused guest).
+func (v *VM) Pause() {
+	if !v.running {
+		return
+	}
+	v.running = false
+	v.host.DetachVIF(v.vif)
+	v.stack.SetNIC(nil)
+	v.vif = nil
+}
+
+// Resume restarts the VM on its current host.
+func (v *VM) Resume() {
+	if v.running {
+		return
+	}
+	v.vif = v.host.AttachVIF("vif-" + v.name)
+	v.stack.SetNIC(v.vif)
+	v.running = true
+}
+
+// totalPages is the VM image size in pages.
+func (v *VM) totalPages() int { return v.cfg.MemoryMB << 20 / v.cfg.PageSize }
+
+// Migrate live-migrates the VM to dst using iterative pre-copy over a
+// TCP connection between the two hosts' Dom0 stacks. It blocks the
+// calling process until the VM runs on dst and returns the report.
+func (v *VM) Migrate(p *sim.Proc, dst HostPort) (*MigrationReport, error) {
+	if v.migrating {
+		return nil, ErrMigrating
+	}
+	if !v.running {
+		return nil, ErrNotUp
+	}
+	src := v.host
+	if src.Dom0() == nil || dst.Dom0() == nil {
+		return nil, fmt.Errorf("vm: both hosts need Dom0 stacks for migration")
+	}
+	v.migrating = true
+	defer func() { v.migrating = false }()
+
+	rep := &MigrationReport{VM: v.name, From: src.Name(), To: dst.Name(), Start: p.Now()}
+
+	// Destination side: accept the image stream and count arrivals; each
+	// length-prefixed round is acknowledged by unparking the migrator.
+	lis, err := dst.Dom0().Listen(v.cfg.MigrationPort)
+	if err != nil {
+		return nil, err
+	}
+	defer lis.Close()
+	var roundDone bool
+	recvErr := error(nil)
+	v.eng.Spawn("migrate-recv-"+v.name, func(rp *sim.Proc) {
+		conn, err := lis.Accept(rp)
+		if err != nil {
+			recvErr = err
+			p.Unpark()
+			return
+		}
+		hdr := make([]byte, 8)
+		buf := make([]byte, 64<<10)
+		for {
+			if _, err := conn.ReadFull(rp, hdr); err != nil {
+				return
+			}
+			n := int64(binary.BigEndian.Uint64(hdr))
+			if n == 0 { // end of stream
+				conn.Close()
+				return
+			}
+			for n > 0 {
+				chunk := buf
+				if n < int64(len(chunk)) {
+					chunk = chunk[:n]
+				}
+				got, err := conn.ReadFull(rp, chunk)
+				n -= int64(got)
+				if err != nil {
+					recvErr = err
+					p.Unpark()
+					return
+				}
+			}
+			roundDone = true
+			p.Unpark()
+		}
+	})
+
+	conn, err := src.Dom0().Dial(p, netsim.Addr{IP: dst.Dom0().IP(), Port: v.cfg.MigrationPort})
+	if err != nil {
+		return nil, fmt.Errorf("vm: migration channel: %w", err)
+	}
+	defer conn.Close()
+
+	pageSize := int64(v.cfg.PageSize)
+	sendRound := func(pages int64) error {
+		bytes := pages * pageSize
+		hdr := make([]byte, 8)
+		binary.BigEndian.PutUint64(hdr, uint64(bytes))
+		if _, err := conn.Write(p, hdr); err != nil {
+			return err
+		}
+		chunk := make([]byte, 64<<10)
+		for sent := int64(0); sent < bytes; {
+			n := bytes - sent
+			if n > int64(len(chunk)) {
+				n = int64(len(chunk))
+			}
+			if _, err := conn.Write(p, chunk[:n]); err != nil {
+				return err
+			}
+			sent += n
+		}
+		// Wait for the receiver to consume the round.
+		roundDone = false
+		for !roundDone && recvErr == nil {
+			p.Park()
+		}
+		rep.BytesSent += bytes
+		rep.RoundBytes = append(rep.RoundBytes, bytes)
+		return recvErr
+	}
+
+	// Iterative pre-copy.
+	toSend := int64(v.totalPages())
+	prev := toSend + 1
+	for round := 0; ; round++ {
+		roundStart := p.Now()
+		if err := sendRound(toSend); err != nil {
+			return nil, err
+		}
+		rep.Rounds++
+		elapsed := p.Now().Sub(roundStart)
+		dirtied := int64(v.cfg.DirtyRate * elapsed.Seconds())
+		if max := int64(v.totalPages()); dirtied > max {
+			dirtied = max
+		}
+		if dirtied <= int64(v.cfg.StopCopyPages) ||
+			round+1 >= v.cfg.MaxRounds ||
+			dirtied >= prev {
+			prev = dirtied
+			toSend = dirtied
+			break
+		}
+		prev = toSend
+		toSend = dirtied
+	}
+
+	// Stop-and-copy: pause, send the final set plus device state, hand
+	// off, resume at the destination.
+	pausedAt := p.Now()
+	v.Pause()
+	if toSend < 1 {
+		toSend = 1
+	}
+	if err := sendRound(toSend); err != nil {
+		// Roll back: resume at the source.
+		v.Resume()
+		return nil, err
+	}
+	rep.Rounds++
+	// End-of-stream marker.
+	zero := make([]byte, 8)
+	conn.Write(p, zero)
+
+	p.Sleep(v.cfg.HandoffDelay)
+	v.host = dst
+	v.Resume()
+	rep.Downtime = p.Now().Sub(pausedAt)
+
+	// The resumed VMM announces the VM's new location; WAVNet floods the
+	// broadcast over every tunnel, IPOP ignores it (stale routes).
+	v.stack.AnnounceGratuitousARP()
+	for i := 1; i <= 2; i++ {
+		v.eng.Schedule(sim.Duration(i)*200*sim.Millisecond, v.stack.AnnounceGratuitousARP)
+	}
+
+	rep.End = p.Now()
+	v.Migrations = append(v.Migrations, rep)
+	return rep, nil
+}

@@ -1,0 +1,110 @@
+package wavnet_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"wavnet"
+)
+
+// TestFacadeDHCPAndTracer drives the extension API end-to-end through
+// the public facade: a DHCP server on one NATed machine leases an
+// address to an unconfigured stack on another, while a tracer captures
+// the handshake frames on the client NIC.
+func TestFacadeDHCPAndTracer(t *testing.T) {
+	world, err := wavnet.NewEmulatedWAN(5, 2, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := world.WAVNetUp(); err != nil {
+		t.Fatal(err)
+	}
+	a, b := world.Machines[0], world.Machines[1]
+
+	if _, err := wavnet.NewDHCPServer(a.Dom0(), wavnet.DHCPServerConfig{
+		PoolStart: mustIP(t, "10.1.0.200"),
+		PoolEnd:   mustIP(t, "10.1.0.209"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	vif := b.WAV.AttachVIF("guest0")
+	tap := wavnet.AttachTracer(world.Eng, "tcpdump-guest0", vif)
+	guest := wavnet.NewStack(world.Eng, "guest", tap, b.WAV.NewMAC(), 0,
+		wavnet.StackConfig{MTU: b.WAV.VirtualMTU()})
+	client, err := wavnet.NewDHCPClient(guest, wavnet.DHCPClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var leased wavnet.IP
+	var acqErr error
+	world.Eng.Spawn("acquire", func(p *wavnet.Proc) {
+		leased, acqErr = client.Acquire(p)
+	})
+	world.Eng.RunFor(time.Minute)
+	if acqErr != nil {
+		t.Fatalf("facade DHCP acquire: %v", acqErr)
+	}
+	if leased != mustIP(t, "10.1.0.200") {
+		t.Fatalf("leased %v", leased)
+	}
+
+	var sb strings.Builder
+	if _, err := tap.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	dump := sb.String()
+	// DISCOVER leaves on 68->67, the OFFER returns on 67->68.
+	if !strings.Contains(dump, ".68 > 255.255.255.255.67") {
+		t.Fatalf("capture lacks the broadcast DISCOVER:\n%s", dump)
+	}
+	if !strings.Contains(dump, ".67 > 255.255.255.255.68") {
+		t.Fatalf("capture lacks the broadcast OFFER:\n%s", dump)
+	}
+}
+
+// TestFacadeBagOfTasks runs a small bag through the public API.
+func TestFacadeBagOfTasks(t *testing.T) {
+	world, err := wavnet.NewEmulatedWAN(6, 3, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := world.WAVNetUp(); err != nil {
+		t.Fatal(err)
+	}
+	master := world.Machines[0].Dom0()
+	var workers []wavnet.Addr
+	for _, m := range world.Machines[1:] {
+		if _, err := wavnet.StartBagWorker(m.Dom0(), 9000, 1.0); err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, wavnet.Addr{IP: m.VIP, Port: 9000})
+	}
+	bag := wavnet.UniformBag(8, 64<<10, 4<<10, 500*time.Millisecond)
+	var run *wavnet.BagRun
+	var execErr error
+	world.Eng.Spawn("bag", func(p *wavnet.Proc) {
+		run, execErr = wavnet.ExecuteBag(p, master, workers, bag, wavnet.BagOptions{})
+	})
+	world.Eng.RunFor(time.Hour)
+	if execErr != nil {
+		t.Fatalf("facade bag: %v", execErr)
+	}
+	if run == nil || len(run.Results) != 8 {
+		t.Fatalf("bag incomplete: %+v", run)
+	}
+	if run.Makespan() < 2*500*time.Millisecond {
+		t.Fatalf("makespan %v implausibly low", run.Makespan())
+	}
+}
+
+func mustIP(t *testing.T, s string) wavnet.IP {
+	t.Helper()
+	ip, err := wavnet.ParseIP(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ip
+}

@@ -1,0 +1,86 @@
+package wavnet
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	world, err := NewEmulatedWAN(1, 2, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := world.WAVNetUp(); err != nil {
+		t.Fatal(err)
+	}
+	a, b := world.Machines[0], world.Machines[1]
+	var rtt Duration
+	world.Eng.Spawn("demo", func(p *Proc) {
+		a.Dom0().Ping(p, b.VIP, 56, 5*time.Second)
+		rtt, err = a.Dom0().Ping(p, b.VIP, 56, 5*time.Second)
+	})
+	world.Eng.RunFor(2 * time.Minute)
+	if err != nil || rtt <= 0 {
+		t.Fatalf("facade ping rtt=%v err=%v", rtt, err)
+	}
+}
+
+func TestFacadeVMAndMigration(t *testing.T) {
+	world, err := NewEmulatedWAN(2, 2, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := world.WAVNetUp(); err != nil {
+		t.Fatal(err)
+	}
+	ip, err := ParseIP("10.50.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVM(world.Machines[0].WAV, "vm", ip, VMConfig{MemoryMB: 16})
+	var rep *MigrationReport
+	world.Eng.Spawn("migrate", func(p *Proc) {
+		rep, err = v.Migrate(p, world.Machines[1].WAV)
+	})
+	world.Eng.RunFor(2 * time.Minute)
+	if err != nil || rep == nil || rep.Downtime <= 0 {
+		t.Fatalf("migration rep=%+v err=%v", rep, err)
+	}
+}
+
+func TestFacadeGrouping(t *testing.T) {
+	ds := PlanetLabDataset(3)
+	loc, err := GroupLocality(ds.RTT, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := GroupRandom(ds.RTT, 8, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if GroupMeanLatency(ds.RTT, loc) >= GroupMeanLatency(ds.RTT, rnd) {
+		t.Fatal("locality grouping not better than random on the PlanetLab universe")
+	}
+	if GroupMaxLatency(ds.RTT, loc) < GroupMeanLatency(ds.RTT, loc) {
+		t.Fatal("max < mean")
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	if len(Experiments()) != 14 {
+		t.Fatalf("expected 14 experiments, got %d", len(Experiments()))
+	}
+	if _, ok := Experiment("figure13"); !ok {
+		t.Fatal("figure13 missing")
+	}
+	// Run the cheapest real experiment end to end through the facade.
+	r, _ := Experiment("figure13")
+	res, err := r.Run(ExperimentOptions{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.String() == "" {
+		t.Fatal("empty result")
+	}
+}
