@@ -179,3 +179,15 @@ func BenchmarkFigure14(b *testing.B) {
 		return m
 	})
 }
+
+func BenchmarkVPC(b *testing.B) {
+	runExperiment(b, "vpc", func(s fmt.Stringer) map[string]float64 {
+		r := s.(*experiments.VPCResult)
+		m := map[string]float64{}
+		for _, row := range r.Rows {
+			m[fmt.Sprintf("t%d-setup-s", row.Tenants)] = row.Setup.Seconds()
+			m[fmt.Sprintf("t%d-leaked", row.Tenants)] = float64(row.CrossDelivered) + float64(row.LookupLeaks)
+		}
+		return m
+	})
+}

@@ -1,0 +1,3 @@
+module wavnet
+
+go 1.21

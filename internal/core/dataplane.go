@@ -29,7 +29,7 @@ func (h *Host) onPacket(pkt netsim.Packet) {
 		}
 	case paPulse:
 		h.onPulse(pkt.Src)
-	case paFrame:
+	case paFrame, paFrameVNI:
 		if t, ok := h.byAddr[pkt.Src]; ok {
 			h.onTunnelFrame(t, pkt.Payload)
 		}
@@ -63,7 +63,7 @@ func (h *Host) onRelayEnvelope(pkt netsim.Packet) {
 	case paPulse:
 		t.PulsesIn++
 		t.lastHeard = h.eng.Now()
-	case paFrame:
+	case paFrame, paFrameVNI:
 		h.onTunnelFrame(t, inner)
 	case paEcho:
 		resp := append([]byte(nil), inner...)
@@ -286,17 +286,18 @@ func (h *Host) onEchoResp(payload []byte) {
 
 // ---- data path: Packet Assembler + WAV-Switch ----
 
-// onTapFrame captures a frame leaving the local bridge and switches it
-// onto tunnels: known unicast goes to one tunnel, everything else floods
-// all established tunnels (the WAV-Switch behaves like an Ethernet
-// switch whose ports are wide-area connections).
-func (h *Host) onTapFrame(f *ether.Frame) {
-	if f.WireLen() > h.VirtualMTU()+ether.HeaderLen {
+// onTapFrame captures a frame leaving one segment's local bridge and
+// switches it onto tunnels: known unicast goes to the one tunnel its
+// VNI-scoped table names, everything else floods all established
+// tunnels (the WAV-Switch behaves like an Ethernet switch whose ports
+// are wide-area connections). The frame is tagged with the segment's
+// VNI on the wire; receivers without a segment for that VNI drop it,
+// which keeps flooded broadcast and ARP inside the tenant.
+func (h *Host) onTapFrame(seg *segment, f *ether.Frame) {
+	if f.WireLen() > h.SegmentMTU(seg.vni)+ether.HeaderLen {
 		return // oversized for the tunnel
 	}
-	wire := make([]byte, 1+f.WireLen())
-	wire[0] = paFrame
-	copy(wire[1:], f.Marshal())
+	wire := MarshalVNIFrame(seg.vni, f)
 	send := func(t *Tunnel) {
 		t.FramesOut++
 		t.BytesOut += uint64(len(wire))
@@ -305,7 +306,7 @@ func (h *Host) onTapFrame(f *ether.Frame) {
 	}
 	deliver := func() {
 		if !f.Dst.IsBroadcast() && !f.Dst.IsMulticast() {
-			if t, ok := h.wswitch.Lookup(f.Dst); ok && t.established {
+			if t, ok := h.wswitch.Lookup(seg.vni, f.Dst); ok && t.established {
 				send(t)
 				return
 			}
@@ -339,19 +340,27 @@ func (h *Host) sortedTunnels() []*Tunnel {
 }
 
 // onTunnelFrame decapsulates a frame arriving over a tunnel (payload is
-// [paFrame][frame bytes]), teaches the WAV-Switch where its source MAC
-// lives, and injects it into the local bridge through the tap.
+// [paFrame][frame bytes] or [paFrameVNI][vni][frame bytes]), applies
+// the tenant isolation check, teaches the VNI's WAV-Switch table where
+// the source MAC lives, and injects the frame into the matching
+// segment's bridge through its tap.
 func (h *Host) onTunnelFrame(t *Tunnel, payload []byte) {
 	t.lastHeard = h.eng.Now()
-	f, err := ether.UnmarshalFrame(payload[1:])
+	vni, f, err := UnmarshalVNIFrame(payload)
 	if err != nil {
 		return
 	}
 	t.FramesIn++
 	t.BytesIn += uint64(len(payload))
 	h.FramesRecv++
-	h.wswitch.Learn(f.Src, t)
-	inject := func() { h.tap.Send(f) }
+	seg, ok := h.segments[vni]
+	if !ok {
+		// Another tenant's traffic: never learned, never injected.
+		h.CrossVNIDrops++
+		return
+	}
+	h.wswitch.Learn(vni, f.Src, t)
+	inject := func() { seg.tap.Send(f) }
 	if h.cfg.PacketCost > 0 {
 		h.eng.Schedule(h.cfg.PacketCost, inject)
 	} else {

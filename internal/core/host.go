@@ -16,6 +16,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"wavnet/internal/can"
 	"wavnet/internal/ether"
@@ -36,6 +37,7 @@ const (
 	paPunchAck = 0x13 // hole punching acknowledgement
 	paEcho     = 0x14 // tunnel RTT probe
 	paEchoResp = 0x15 // tunnel RTT response
+	paFrameVNI = 0x17 // VNI-tagged encapsulated Ethernet frame (multi-tenant; 0x16 is rendezvous.RelayMagic)
 )
 
 // Errors returned by Host operations.
@@ -132,6 +134,18 @@ type Tunnel struct {
 // Established reports whether hole punching (or relay setup) completed.
 func (t *Tunnel) Established() bool { return t.established }
 
+// segment is one virtual network's local attachment point: a dedicated
+// software bridge plus the tap through which the WAV-Switch picks up
+// and injects that network's frames. Segment 0 is the default (legacy,
+// untagged) virtual LAN; every VPC a host participates in gets its own
+// segment, so broadcast and ARP flooding is scoped per tenant.
+type segment struct {
+	vni    uint32
+	bridge *ether.Bridge
+	tap    *ether.BridgePort
+	dom0   *ipstack.Stack
+}
+
 // Host is a WAVNet participant.
 type Host struct {
 	name string
@@ -139,11 +153,17 @@ type Host struct {
 	eng  *sim.Engine
 	cfg  Config
 
-	sock   *netsim.UDPSocket
-	bridge *ether.Bridge
-	tap    *ether.BridgePort
+	sock *netsim.UDPSocket
 
-	wswitch *ether.MACTable[*Tunnel]
+	// segments are the per-VNI virtual LAN attachments (bridge + tap);
+	// segment 0 always exists and is the default network.
+	segments map[uint32]*segment
+	// network/vni scope the host's rendezvous registration and
+	// discovery to one tenant (empty/0 = the default network).
+	network string
+	vni     uint32
+
+	wswitch *ether.VNITable[*Tunnel]
 	tunnels map[string]*Tunnel
 	byAddr  map[netsim.Addr]*Tunnel
 	byChan  map[uint64]*Tunnel // relayed tunnels keyed by channel id
@@ -162,7 +182,6 @@ type Host struct {
 	echoWaiters map[uint64]func(sim.Duration)
 	nextEcho    uint64
 
-	dom0   *ipstack.Stack
 	vifSeq uint32
 	macSeq uint32
 
@@ -170,6 +189,10 @@ type Host struct {
 	FramesSent, FramesRecv   uint64
 	FloodedFrames            uint64
 	PunchesSent, PunchesRecv uint64
+	// CrossVNIDrops counts frames that arrived tagged with a VNI this
+	// host has no segment for — traffic from another tenant that the
+	// isolation check discarded.
+	CrossVNIDrops uint64
 }
 
 // NewHost creates a WAVNet host on a physical machine. The bridge, tap
@@ -181,6 +204,7 @@ func NewHost(phys *netsim.Host, name string, cfg Config) (*Host, error) {
 		phys:        phys,
 		eng:         phys.Engine(),
 		cfg:         cfg,
+		segments:    make(map[uint32]*segment),
 		tunnels:     make(map[string]*Tunnel),
 		byAddr:      make(map[netsim.Addr]*Tunnel),
 		byChan:      make(map[uint64]*Tunnel),
@@ -193,11 +217,65 @@ func NewHost(phys *netsim.Host, name string, cfg Config) (*Host, error) {
 		return nil, err
 	}
 	h.sock = sock
-	h.bridge = ether.NewBridge(h.eng, name+"-br0", cfg.BridgeLatency)
-	h.tap = h.bridge.AddPort("wav0")
-	h.tap.SetRecv(h.onTapFrame)
-	h.wswitch = ether.NewMACTable[*Tunnel](h.eng, 0)
+	h.wswitch = ether.NewVNITable[*Tunnel](h.eng, 0)
+	h.addSegment(0)
 	return h, nil
+}
+
+// addSegment wires the bridge and tap of one virtual network.
+func (h *Host) addSegment(vni uint32) *segment {
+	suffix := ""
+	if vni != 0 {
+		suffix = fmt.Sprintf(".%d", vni)
+	}
+	seg := &segment{vni: vni}
+	seg.bridge = ether.NewBridge(h.eng, h.name+"-br0"+suffix, h.cfg.BridgeLatency)
+	seg.tap = seg.bridge.AddPort("wav0" + suffix)
+	seg.tap.SetRecv(func(f *ether.Frame) { h.onTapFrame(seg, f) })
+	h.segments[vni] = seg
+	return seg
+}
+
+// JoinVNI attaches the host to a virtual network's data plane: it
+// creates the VNI's local bridge segment (idempotently) so tagged
+// frames for that network are accepted and switched. Rendezvous-layer
+// scoping is handled separately by JoinVPC.
+func (h *Host) JoinVNI(vni uint32) *ether.Bridge {
+	seg, ok := h.segments[vni]
+	if !ok {
+		seg = h.addSegment(vni)
+	}
+	return seg.bridge
+}
+
+// LeaveVNI detaches the host from a non-default virtual network: the
+// segment is dropped, its switch state is flushed, and subsequent
+// frames tagged with the VNI are discarded by the isolation check.
+func (h *Host) LeaveVNI(vni uint32) {
+	if vni == 0 {
+		return // the default segment is permanent
+	}
+	delete(h.segments, vni)
+	h.wswitch.DropVNI(vni)
+}
+
+// SegmentBridge returns the bridge of one virtual network segment.
+func (h *Host) SegmentBridge(vni uint32) (*ether.Bridge, bool) {
+	seg, ok := h.segments[vni]
+	if !ok {
+		return nil, false
+	}
+	return seg.bridge, true
+}
+
+// VNIs returns the virtual networks this host has segments for, sorted.
+func (h *Host) VNIs() []uint32 {
+	out := make([]uint32, 0, len(h.segments))
+	for vni := range h.segments {
+		out = append(out, vni)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // Name returns the host's WAVNet name.
@@ -206,8 +284,13 @@ func (h *Host) Name() string { return h.name }
 // Phys returns the underlying physical machine.
 func (h *Host) Phys() *netsim.Host { return h.phys }
 
-// Bridge returns the host's software bridge.
-func (h *Host) Bridge() *ether.Bridge { return h.bridge }
+// Bridge returns the host's default-network software bridge.
+func (h *Host) Bridge() *ether.Bridge { return h.segments[0].bridge }
+
+// Network reports the host's tenant scope: the virtual network name
+// and VNI its rendezvous registration is scoped to ("" and 0 before
+// JoinVPC).
+func (h *Host) Network() (string, uint32) { return h.network, h.vni }
 
 // NATClass reports the STUN classification from Join.
 func (h *Host) NATClass() stun.NATClass { return h.natClass }
@@ -231,41 +314,88 @@ func (h *Host) Tunnel(peer string) (*Tunnel, bool) {
 	return t, ok
 }
 
-// VirtualMTU is the MTU usable on the virtual LAN: the physical UDP
-// payload budget minus Packet Assembler, relay envelope and Ethernet
+// VirtualMTU is the MTU usable on the default virtual LAN: the physical
+// UDP payload budget minus Packet Assembler, relay envelope and Ethernet
 // header overhead. The relay envelope is reserved even on direct
 // tunnels so every host on a virtual LAN agrees on one MTU.
 func (h *Host) VirtualMTU() int {
 	return 1472 - 1 - rendezvous.RelayHeaderLen - ether.HeaderLen
 }
 
-// ---- NIC plumbing for stacks and VMs ----
-
-// AttachVIF adds a port to the host bridge (for a VM's virtual NIC or an
-// extra local stack) and returns it.
-func (h *Host) AttachVIF(name string) ether.NIC {
-	return h.bridge.AddPort(name)
+// SegmentMTU is the MTU usable within one virtual network: tagged
+// segments pay the VNI tag on the wire, so every member of a VPC
+// agrees on a slightly smaller MTU than the default network's.
+func (h *Host) SegmentMTU(vni uint32) int {
+	if vni == 0 {
+		return h.VirtualMTU()
+	}
+	return h.VirtualMTU() - VNITagLen
 }
 
-// DetachVIF unplugs a previously attached port.
+// ---- NIC plumbing for stacks and VMs ----
+
+// AttachVIF adds a port to the host's default-network bridge (for a
+// VM's virtual NIC or an extra local stack) and returns it.
+func (h *Host) AttachVIF(name string) ether.NIC {
+	return h.segments[0].bridge.AddPort(name)
+}
+
+// AttachVIFOn adds a port to the bridge of one virtual network segment
+// (the host must have joined the VNI first).
+func (h *Host) AttachVIFOn(vni uint32, name string) (ether.NIC, error) {
+	seg, ok := h.segments[vni]
+	if !ok {
+		return nil, fmt.Errorf("core: %s has no segment for VNI %d", h.name, vni)
+	}
+	return seg.bridge.AddPort(name), nil
+}
+
+// DetachVIF unplugs a previously attached port from whichever bridge
+// holds it.
 func (h *Host) DetachVIF(nic ether.NIC) {
 	if p, ok := nic.(*ether.BridgePort); ok {
-		h.bridge.RemovePort(p)
+		p.Bridge().RemovePort(p)
 	}
 }
 
 // CreateDom0 attaches the host's own virtual stack (the management
-// domain of Figure 5) to the bridge with the given virtual IP.
+// domain of Figure 5) to the default bridge with the given virtual IP.
 func (h *Host) CreateDom0(ip netsim.IP) *ipstack.Stack {
-	h.macSeq++
-	nic := h.AttachVIF("vnet0")
-	h.dom0 = ipstack.New(h.eng, h.name+"-dom0", nic, h.newMAC(), ip,
-		ipstack.Config{MTU: h.VirtualMTU()})
-	return h.dom0
+	st, _ := h.CreateDom0On(0, ip)
+	return st
 }
 
-// Dom0 returns the host's management stack (nil before CreateDom0).
-func (h *Host) Dom0() *ipstack.Stack { return h.dom0 }
+// CreateDom0On attaches a per-network management stack to the given
+// VNI's segment. Each segment holds at most one dom0.
+func (h *Host) CreateDom0On(vni uint32, ip netsim.IP) (*ipstack.Stack, error) {
+	seg, ok := h.segments[vni]
+	if !ok {
+		return nil, fmt.Errorf("core: %s has no segment for VNI %d", h.name, vni)
+	}
+	name := "vnet0"
+	stackName := h.name + "-dom0"
+	if vni != 0 {
+		name = fmt.Sprintf("vnet0.%d", vni)
+		stackName = fmt.Sprintf("%s-dom0.%d", h.name, vni)
+	}
+	h.macSeq++
+	nic := seg.bridge.AddPort(name)
+	seg.dom0 = ipstack.New(h.eng, stackName, nic, h.newMAC(), ip,
+		ipstack.Config{MTU: h.SegmentMTU(vni)})
+	return seg.dom0, nil
+}
+
+// Dom0 returns the host's default-network management stack (nil before
+// CreateDom0).
+func (h *Host) Dom0() *ipstack.Stack { return h.segments[0].dom0 }
+
+// Dom0On returns the per-network management stack of one segment.
+func (h *Host) Dom0On(vni uint32) *ipstack.Stack {
+	if seg, ok := h.segments[vni]; ok {
+		return seg.dom0
+	}
+	return nil
+}
 
 // NewMAC hands out deterministic unique MACs for VMs on this host.
 func (h *Host) NewMAC() ether.MAC { return h.newMAC() }
@@ -348,11 +478,7 @@ func (h *Host) Join(p *sim.Proc, rdv netsim.Addr) error {
 	h.mapped = mapped
 
 	// 3. Register with the broker.
-	rec := rendezvous.HostRecord{
-		Name:  h.name,
-		NAT:   h.natClass.NATType(),
-		Attrs: h.cfg.Attrs,
-	}
+	rec := h.record()
 	resp, err := h.rpc(p, &rendezvous.Msg{Kind: "join", Rec: &rec})
 	if err != nil {
 		return err
@@ -370,6 +496,51 @@ func (h *Host) Join(p *sim.Proc, rdv netsim.Addr) error {
 		h.sock.SendTo(h.rdv, rendezvous.Encode(&rendezvous.Msg{Kind: "pulse", Name: h.name}))
 	})
 	return nil
+}
+
+// record is the host's current registration record.
+func (h *Host) record() rendezvous.HostRecord {
+	return rendezvous.HostRecord{
+		Name:  h.name,
+		NAT:   h.natClass.NATType(),
+		Attrs: h.cfg.Attrs,
+		Net:   h.network,
+		VNI:   h.vni,
+	}
+}
+
+// JoinVPC admits the host into a virtual private cloud: it joins the
+// VNI's data-plane segment and re-registers with the rendezvous layer
+// scoped to the network, so Lookup, GroupQuery and broker-mediated
+// connects only ever see co-tenants. The host must already have joined
+// a rendezvous server.
+func (h *Host) JoinVPC(p *sim.Proc, network string, vni uint32) error {
+	if !h.joined {
+		return ErrNotJoined
+	}
+	_, hadSegment := h.segments[vni]
+	h.JoinVNI(vni)
+	prevNet, prevVNI := h.network, h.vni
+	h.network, h.vni = network, vni
+	rec := h.record()
+	if _, err := h.rpc(p, &rendezvous.Msg{Kind: "join", Rec: &rec}); err != nil {
+		// Roll the whole join back: a host whose registration failed
+		// must not keep a data-plane segment that would pass the
+		// isolation check for a tenant it never entered.
+		h.network, h.vni = prevNet, prevVNI
+		if !hadSegment {
+			h.LeaveVNI(vni)
+		}
+		return err
+	}
+	return nil
+}
+
+// LeaveVPC returns the host to the default network: the rendezvous
+// registration is re-scoped to the default tenant. The VNI segment is
+// left to the caller (vpc.Manager.Evict drops it).
+func (h *Host) LeaveVPC(p *sim.Proc) error {
+	return h.JoinVPC(p, "", 0)
 }
 
 // JoinAny registers with the first reachable rendezvous server in the
@@ -427,7 +598,7 @@ func (h *Host) Lookup(p *sim.Proc, name string) ([]rendezvous.HostRecord, error)
 	if !h.joined {
 		return nil, ErrNotJoined
 	}
-	resp, err := h.rpc(p, &rendezvous.Msg{Kind: "lookup", Name: name})
+	resp, err := h.rpc(p, &rendezvous.Msg{Kind: "lookup", Name: name, Net: h.network})
 	if err != nil {
 		return nil, err
 	}
@@ -439,7 +610,7 @@ func (h *Host) LookupAttrs(p *sim.Proc, attrs can.Point) ([]rendezvous.HostRecor
 	if !h.joined {
 		return nil, ErrNotJoined
 	}
-	resp, err := h.rpc(p, &rendezvous.Msg{Kind: "lookup", Attrs: attrs})
+	resp, err := h.rpc(p, &rendezvous.Msg{Kind: "lookup", Attrs: attrs, Net: h.network})
 	if err != nil {
 		return nil, err
 	}
@@ -452,7 +623,7 @@ func (h *Host) GroupQuery(p *sim.Proc, k int) ([]string, error) {
 	if !h.joined {
 		return nil, ErrNotJoined
 	}
-	resp, err := h.rpc(p, &rendezvous.Msg{Kind: "group-query", Name: h.name, K: k})
+	resp, err := h.rpc(p, &rendezvous.Msg{Kind: "group-query", Name: h.name, K: k, Net: h.network})
 	if err != nil {
 		return nil, err
 	}

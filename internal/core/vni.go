@@ -1,0 +1,78 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"wavnet/internal/ether"
+)
+
+// VNI tagging: the Packet Assembler's tunnel encapsulation carries a
+// virtual network identifier so many isolated virtual LANs can be
+// multiplexed over one shared tunnel mesh (the multi-tenant VPC data
+// plane). VNI 0 is the default network and stays on the untagged
+// legacy wire format [paFrame][frame]; every other network rides
+// [paFrameVNI][vni:4][frame]. A receiving host injects a frame only
+// into the bridge of the matching VNI segment — a host with no segment
+// for the tag drops the frame, which is what makes broadcast, ARP and
+// unicast traffic unable to cross tenants even over shared tunnels.
+
+// VNITagLen is the extra wire overhead of a tagged encapsulation
+// relative to the untagged one.
+const VNITagLen = 4
+
+// Errors returned by the VNI frame codec.
+var (
+	ErrShortEncap  = errors.New("core: truncated frame encapsulation")
+	ErrBadEncap    = errors.New("core: not a frame encapsulation")
+	ErrReservedVNI = errors.New("core: tagged frame carries reserved VNI 0")
+)
+
+// MarshalVNIFrame encodes a frame for tunneling within the given
+// virtual network: [paFrame][frame] for VNI 0 (backward compatible),
+// [paFrameVNI][vni:4][frame] otherwise.
+func MarshalVNIFrame(vni uint32, f *ether.Frame) []byte {
+	if vni == 0 {
+		wire := make([]byte, 1+f.WireLen())
+		wire[0] = paFrame
+		f.MarshalTo(wire[1:])
+		return wire
+	}
+	wire := make([]byte, 1+VNITagLen+f.WireLen())
+	wire[0] = paFrameVNI
+	binary.BigEndian.PutUint32(wire[1:], vni)
+	f.MarshalTo(wire[1+VNITagLen:])
+	return wire
+}
+
+// UnmarshalVNIFrame decodes a tunneled frame encapsulation (either
+// wire format), returning the VNI it is tagged with. The frame payload
+// aliases b.
+func UnmarshalVNIFrame(b []byte) (uint32, *ether.Frame, error) {
+	if len(b) == 0 {
+		return 0, nil, ErrShortEncap
+	}
+	switch b[0] {
+	case paFrame:
+		f, err := ether.UnmarshalFrame(b[1:])
+		if err != nil {
+			return 0, nil, err
+		}
+		return 0, f, nil
+	case paFrameVNI:
+		if len(b) < 1+VNITagLen+ether.HeaderLen {
+			return 0, nil, ErrShortEncap
+		}
+		vni := binary.BigEndian.Uint32(b[1:])
+		if vni == 0 {
+			return 0, nil, ErrReservedVNI
+		}
+		f, err := ether.UnmarshalFrame(b[1+VNITagLen:])
+		if err != nil {
+			return 0, nil, err
+		}
+		return vni, f, nil
+	default:
+		return 0, nil, ErrBadEncap
+	}
+}

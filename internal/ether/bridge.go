@@ -84,6 +84,9 @@ func (b *Bridge) Ports() []*BridgePort { return append([]*BridgePort(nil), b.por
 // Name returns the port name.
 func (p *BridgePort) Name() string { return p.name }
 
+// Bridge returns the bridge this port is attached to.
+func (p *BridgePort) Bridge() *Bridge { return p.bridge }
+
 // SetRecv registers the frame handler for this port's attached device.
 func (p *BridgePort) SetRecv(fn func(*Frame)) { p.recv = fn }
 

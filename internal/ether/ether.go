@@ -60,11 +60,19 @@ func (f *Frame) WireLen() int { return HeaderLen + len(f.Payload) }
 // Marshal encodes the frame for tunneling.
 func (f *Frame) Marshal() []byte {
 	b := make([]byte, HeaderLen+len(f.Payload))
+	f.MarshalTo(b)
+	return b
+}
+
+// MarshalTo encodes the frame into b, which must hold at least
+// WireLen() bytes, and returns the number of bytes written. It lets
+// encapsulations prepend their own headers without a second copy.
+func (f *Frame) MarshalTo(b []byte) int {
 	copy(b[0:6], f.Dst[:])
 	copy(b[6:12], f.Src[:])
 	binary.BigEndian.PutUint16(b[12:14], f.Type)
 	copy(b[HeaderLen:], f.Payload)
-	return b
+	return HeaderLen + len(f.Payload)
 }
 
 // UnmarshalFrame decodes a tunneled frame. The payload aliases b.

@@ -1,0 +1,83 @@
+package ether
+
+import (
+	"sort"
+
+	"wavnet/internal/sim"
+)
+
+// VNITable is a set of MAC learning tables keyed by VNI (virtual
+// network identifier): one independent forwarding table per virtual
+// network, so tenants with overlapping MAC or IP address spaces never
+// share state. The WAV-Switch uses it to map (VNI, MAC) onto wide-area
+// tunnels; a plain MACTable is the degenerate single-tenant case.
+type VNITable[P comparable] struct {
+	eng     *sim.Engine
+	ageTime sim.Duration
+	tables  map[uint32]*MACTable[P]
+}
+
+// NewVNITable creates an empty per-VNI table set; ageTime <= 0 selects
+// the MACTable default (300 s).
+func NewVNITable[P comparable](eng *sim.Engine, ageTime sim.Duration) *VNITable[P] {
+	return &VNITable[P]{eng: eng, ageTime: ageTime, tables: make(map[uint32]*MACTable[P])}
+}
+
+// Learn records that mac was seen on port within the given VNI.
+func (t *VNITable[P]) Learn(vni uint32, mac MAC, port P) {
+	tbl, ok := t.tables[vni]
+	if !ok {
+		tbl = NewMACTable[P](t.eng, t.ageTime)
+		t.tables[vni] = tbl
+	}
+	tbl.Learn(mac, port)
+}
+
+// Lookup returns the port mac was last seen on within the VNI.
+func (t *VNITable[P]) Lookup(vni uint32, mac MAC) (P, bool) {
+	tbl, ok := t.tables[vni]
+	if !ok {
+		var zero P
+		return zero, false
+	}
+	return tbl.Lookup(mac)
+}
+
+// Forget drops the entry for mac within the VNI.
+func (t *VNITable[P]) Forget(vni uint32, mac MAC) {
+	if tbl, ok := t.tables[vni]; ok {
+		tbl.Forget(mac)
+	}
+}
+
+// ForgetPort drops every entry pointing at port across all VNIs (used
+// when a tunnel goes away).
+func (t *VNITable[P]) ForgetPort(port P) {
+	for _, tbl := range t.tables {
+		tbl.ForgetPort(port)
+	}
+}
+
+// DropVNI discards the whole table of one VNI (network deletion).
+func (t *VNITable[P]) DropVNI(vni uint32) { delete(t.tables, vni) }
+
+// Len reports the total number of entries across all VNIs.
+func (t *VNITable[P]) Len() int {
+	n := 0
+	for _, tbl := range t.tables {
+		n += tbl.Len()
+	}
+	return n
+}
+
+// VNIs returns the VNIs with at least one entry, sorted.
+func (t *VNITable[P]) VNIs() []uint32 {
+	out := make([]uint32, 0, len(t.tables))
+	for vni, tbl := range t.tables {
+		if tbl.Len() > 0 {
+			out = append(out, vni)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVPCScale(t *testing.T) {
+	r, err := VPCScale(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.CrossDelivered != 0 {
+			t.Fatalf("%d tenants: %d cross-tenant frames delivered", row.Tenants, row.CrossDelivered)
+		}
+		if row.LookupLeaks != 0 {
+			t.Fatalf("%d tenants: %d rendezvous records leaked", row.Tenants, row.LookupLeaks)
+		}
+		if row.Tenants > 1 && row.CrossDropped == 0 {
+			t.Fatalf("%d tenants: no traffic crossed the forced tunnel (vacuous)", row.Tenants)
+		}
+		if row.IntraRTT <= 0 {
+			t.Fatalf("%d tenants: intra RTT %v", row.Tenants, row.IntraRTT)
+		}
+	}
+	if !strings.Contains(r.String(), "Cross delivered") {
+		t.Fatal("table missing leak column")
+	}
+}

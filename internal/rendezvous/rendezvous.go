@@ -34,6 +34,11 @@ type HostRecord struct {
 	// Server is the broker responsible for this host (where connection
 	// requests must be relayed through).
 	Server netsim.Addr `json:"server"`
+	// Net and VNI scope the host to one virtual network (tenant).
+	// Discovery and brokered connects never cross networks; the empty
+	// name is the default network every legacy host lives in.
+	Net string `json:"net,omitempty"`
+	VNI uint32 `json:"vni,omitempty"`
 }
 
 // Wire message kinds between hosts and brokers, and between brokers.
@@ -64,6 +69,10 @@ type Msg struct {
 	Error string      `json:"error,omitempty"`
 	Rec   *HostRecord `json:"rec,omitempty"`
 	Peer  *HostRecord `json:"peer,omitempty"`
+
+	// Net scopes lookups and group queries to the requester's virtual
+	// network ("" = the default network).
+	Net string `json:"net,omitempty"`
 
 	// Lookup / grouping.
 	Attrs   can.Point        `json:"attrs,omitempty"`
@@ -343,13 +352,20 @@ func (s *Server) onRTTReport(m *Msg) {
 }
 
 // onLookup serves resource queries: by name (local, then CAN), or by
-// attribute point (CAN owner's records).
+// attribute point (CAN owner's records). Every path is scoped to the
+// requester's virtual network: records from other tenants are simply
+// invisible, so a lookup that only matches foreign hosts returns an
+// empty record set rather than an error.
 func (s *Server) onLookup(src netsim.Addr, m *Msg) {
 	s.Lookups++
 	s.expire()
 	if m.Name != "" {
 		if ses, ok := s.sessions[m.Name]; ok {
-			s.reply(src, &Msg{Kind: kindLookupReply, ID: m.ID, Records: []HostRecord{ses.rec}})
+			recs := []HostRecord{}
+			if ses.rec.Net == m.Net {
+				recs = append(recs, ses.rec)
+			}
+			s.reply(src, &Msg{Kind: kindLookupReply, ID: m.ID, Records: recs})
 			return
 		}
 		// Route through the CAN by name hash.
@@ -365,7 +381,7 @@ func (s *Server) onLookup(src netsim.Addr, m *Msg) {
 					continue
 				}
 				var rec HostRecord
-				if json.Unmarshal(r.Value, &rec) == nil {
+				if json.Unmarshal(r.Value, &rec) == nil && rec.Net == m.Net {
 					recs = append(recs, rec)
 				}
 			}
@@ -383,7 +399,7 @@ func (s *Server) onLookup(src netsim.Addr, m *Msg) {
 			var recs []HostRecord
 			for _, r := range res.Resources {
 				var rec HostRecord
-				if json.Unmarshal(r.Value, &rec) == nil {
+				if json.Unmarshal(r.Value, &rec) == nil && rec.Net == m.Net {
 					recs = append(recs, rec)
 				}
 			}
@@ -392,10 +408,12 @@ func (s *Server) onLookup(src netsim.Addr, m *Msg) {
 		})
 		return
 	}
-	// No criteria: all local sessions (diagnostics).
+	// No criteria: all local co-tenant sessions (diagnostics).
 	var recs []HostRecord
 	for _, ses := range s.sessions {
-		recs = append(recs, ses.rec)
+		if ses.rec.Net == m.Net {
+			recs = append(recs, ses.rec)
+		}
 	}
 	sort.Slice(recs, func(i, j int) bool { return recs[i].Name < recs[j].Name })
 	s.reply(src, &Msg{Kind: kindLookupReply, ID: m.ID, Records: recs})
@@ -415,6 +433,12 @@ func (s *Server) onConnect(src netsim.Addr, m *Msg) {
 	target := m.Peer.Name
 
 	if ses, local := s.sessions[target]; local {
+		if ses.rec.Net != reqRec.Net {
+			// Tenant isolation: the broker never introduces hosts across
+			// virtual networks.
+			s.reply(src, &Msg{Kind: kindError, ID: m.ID, Error: "cross-tenant connect refused"})
+			return
+		}
 		// Both hosts are ours: order both to punch.
 		s.orderPunch(reqRec, ses.rec, m.ID, src)
 		return
@@ -433,6 +457,10 @@ func (s *Server) onConnect(src netsim.Addr, m *Msg) {
 			var rec HostRecord
 			if json.Unmarshal(r.Value, &rec) != nil {
 				continue
+			}
+			if rec.Net != reqRec.Net {
+				s.reply(src, &Msg{Kind: kindError, ID: id, Error: "cross-tenant connect refused"})
+				return
 			}
 			// Relay through the target's own broker so it can notify the
 			// target over the maintained NAT session.
@@ -473,6 +501,12 @@ func (s *Server) onIntroduce(src netsim.Addr, m *Msg) {
 	ses, ok := s.sessions[m.Name]
 	if !ok {
 		s.reply(src, &Msg{Kind: kindError, ID: m.ID, Error: "unknown host " + m.Name})
+		return
+	}
+	if m.Rec != nil && m.Rec.Net != ses.rec.Net {
+		// The requester's broker should have refused already; enforce
+		// tenant isolation here too in case records were stale.
+		s.reply(src, &Msg{Kind: kindError, ID: m.ID, Error: "cross-tenant connect refused"})
 		return
 	}
 	if m.Rec != nil && !nat.Punchable(m.Rec.NAT, ses.rec.NAT) {
@@ -517,9 +551,25 @@ func (s *Server) onIntroAck(m *Msg) {
 }
 
 // onGroupQuery runs the locality-sensitive grouping over the locator's
-// latency matrix.
+// latency matrix. Queries from a virtual network only ever select
+// co-tenant hosts; the default network keeps the unscoped behaviour so
+// hosts that report RTTs without maintaining broker sessions still
+// participate.
 func (s *Server) onGroupQuery(src netsim.Addr, m *Msg) {
-	names, err := s.locator.Group(m.K)
+	var names []string
+	var err error
+	if m.Net == "" {
+		names, err = s.locator.Group(m.K)
+	} else {
+		s.expire()
+		allowed := make(map[string]bool)
+		for name, ses := range s.sessions {
+			if ses.rec.Net == m.Net {
+				allowed[name] = true
+			}
+		}
+		names, err = s.locator.GroupAmong(m.K, func(name string) bool { return allowed[name] })
+	}
 	if err != nil {
 		s.reply(src, &Msg{Kind: kindError, ID: m.ID, Error: err.Error()})
 		return
@@ -582,6 +632,34 @@ func (l *Locator) Group(k int) ([]string, error) {
 	names := make([]string, len(sel))
 	for i, idx := range sel {
 		names[i] = l.order[idx]
+	}
+	return names, nil
+}
+
+// GroupAmong is Group restricted to the hosts allowed() admits: the
+// grouping runs on the sub-matrix of permitted rows/columns, which is
+// how group queries stay inside one tenant.
+func (l *Locator) GroupAmong(k int, allowed func(string) bool) ([]string, error) {
+	var idxs []int
+	for i, name := range l.order {
+		if allowed(name) {
+			idxs = append(idxs, i)
+		}
+	}
+	sub := make([][]sim.Duration, len(idxs))
+	for r, i := range idxs {
+		sub[r] = make([]sim.Duration, len(idxs))
+		for c, j := range idxs {
+			sub[r][c] = l.rtts[i][j]
+		}
+	}
+	sel, err := grouping.LocalitySensitive(sub, k)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(sel))
+	for i, s := range sel {
+		names[i] = l.order[idxs[s]]
 	}
 	return names, nil
 }

@@ -24,6 +24,7 @@ import (
 	"wavnet/internal/netsim"
 	"wavnet/internal/rendezvous"
 	"wavnet/internal/sim"
+	"wavnet/internal/vpc"
 )
 
 // Spec describes one machine of a topology.
@@ -105,6 +106,7 @@ type World struct {
 	IPOPNet *ipop.Network
 
 	physPort uint16
+	vpcMgr   *vpc.Manager
 }
 
 // M returns a machine by key, panicking on unknown keys (scenario wiring
@@ -195,11 +197,10 @@ func EmulatedWANSpecs(n int, wanBps float64) []Spec {
 	return specs
 }
 
-// WAVNetUp joins the listed machines (all, when none given) to the
-// rendezvous server, creates their Dom0 stacks, and establishes the full
-// tunnel mesh among them. It drives the engine internally.
-func (w *World) WAVNetUp(keys ...string) error {
-	ms := w.pick(keys)
+// joinHosts creates WAVNet hosts on the machines that lack one and
+// registers them with the rendezvous server concurrently, optionally
+// creating their default-LAN Dom0 stacks. It drives the engine.
+func (w *World) joinHosts(ms []*Machine, withDom0 bool) error {
 	errs := make([]error, len(ms))
 	for i, m := range ms {
 		i, m := i, m
@@ -215,7 +216,9 @@ func (w *World) WAVNetUp(keys ...string) error {
 			if errs[i] = h.Join(p, w.Rdv.Addr()); errs[i] != nil {
 				return
 			}
-			h.CreateDom0(m.VIP)
+			if withDom0 {
+				h.CreateDom0(m.VIP)
+			}
 		})
 	}
 	w.Eng.RunFor(30 * time.Second)
@@ -223,6 +226,17 @@ func (w *World) WAVNetUp(keys ...string) error {
 		if err != nil {
 			return fmt.Errorf("scenario: join %s: %w", ms[i].Key, err)
 		}
+	}
+	return nil
+}
+
+// WAVNetUp joins the listed machines (all, when none given) to the
+// rendezvous server, creates their Dom0 stacks, and establishes the full
+// tunnel mesh among them. It drives the engine internally.
+func (w *World) WAVNetUp(keys ...string) error {
+	ms := w.pick(keys)
+	if err := w.joinHosts(ms, true); err != nil {
+		return err
 	}
 	// Full mesh among the subset, staggered so thousands of setup
 	// exchanges do not collide in the same instant.
@@ -254,6 +268,59 @@ func (w *World) WAVNetUp(keys ...string) error {
 	}
 	if pending != 0 {
 		return fmt.Errorf("scenario: %d tunnels still pending", pending)
+	}
+	return nil
+}
+
+// VPC returns the world's multi-tenant control plane (created lazily).
+func (w *World) VPC() *vpc.Manager {
+	if w.vpcMgr == nil {
+		w.vpcMgr = vpc.NewManager()
+	}
+	return w.vpcMgr
+}
+
+// CreateVPC registers a new isolated virtual network on the world's
+// control plane, e.g. CreateVPC("red", "10.0.0.0/24").
+func (w *World) CreateVPC(name, cidr string) (*vpc.Network, error) {
+	return w.VPC().Create(name, cidr, vpc.NetworkConfig{})
+}
+
+// JoinVPC admits the listed machines (all, when none given) into a
+// virtual network: each joins the rendezvous server if it has not yet,
+// is scoped to the network, meshes with its co-tenants only, and gets
+// an address from the network's pool (DHCP-leased past the anchor).
+// It drives the engine internally. Unlike WAVNetUp, no cross-tenant
+// tunnels are built.
+func (w *World) JoinVPC(network string, keys ...string) error {
+	ms := w.pick(keys)
+	if err := w.joinHosts(ms, false); err != nil {
+		return err
+	}
+	// Sequential admission keeps the run deterministic and lets each
+	// member lease its address over an already-working tenant LAN.
+	var admitErr error
+	done := false
+	w.Eng.Spawn("vpc-admit-"+network, func(p *sim.Proc) {
+		for _, m := range ms {
+			if _, err := w.VPC().Admit(p, m.WAV, network); err != nil {
+				admitErr = fmt.Errorf("scenario: admit %s into %s: %w", m.Key, network, err)
+				break
+			}
+		}
+		done = true
+	})
+	// Drive the engine in slices so the world's clock stops close to
+	// when admission actually finishes (setup time is a measurement).
+	budget := time.Duration(len(ms))*time.Minute + 30*time.Second
+	for spent := time.Duration(0); !done && spent < budget; spent += time.Second {
+		w.Eng.RunFor(time.Second)
+	}
+	if admitErr != nil {
+		return admitErr
+	}
+	if !done {
+		return fmt.Errorf("scenario: admission into %s still pending", network)
 	}
 	return nil
 }

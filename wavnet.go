@@ -46,6 +46,7 @@ import (
 	"wavnet/internal/sim"
 	"wavnet/internal/trace"
 	"wavnet/internal/vm"
+	"wavnet/internal/vpc"
 )
 
 // Core simulation types.
@@ -189,6 +190,32 @@ func ParseIP(s string) (IP, error) { return netsim.ParseIP(s) }
 
 // BroadcastIP is the limited-broadcast address 255.255.255.255.
 const BroadcastIP = netsim.BroadcastIP
+
+// ---- multi-tenant VPCs (isolated virtual networks over one fabric) ----
+
+type (
+	// VPCManager is the multi-tenant control plane: create/delete
+	// networks, admit and evict hosts. Worlds expose one via
+	// World.VPC(); World.CreateVPC and World.JoinVPC are the
+	// high-level path.
+	VPCManager = vpc.Manager
+	// VPCNetwork is one isolated virtual network (name, VNI, CIDR).
+	VPCNetwork = vpc.Network
+	// VPCMember is one host's membership (its per-network stack and IP).
+	VPCMember = vpc.Member
+	// VPCConfig tunes a network at creation (pinned VNI, default flag,
+	// static addressing, lease time).
+	VPCConfig = vpc.NetworkConfig
+	// CIDR is an IPv4 prefix ("10.0.0.0/24").
+	CIDR = vpc.CIDR
+)
+
+// NewVPCManager creates a standalone multi-tenant control plane (for
+// custom setups outside a World).
+func NewVPCManager() *VPCManager { return vpc.NewManager() }
+
+// ParseCIDR parses "a.b.c.d/n".
+func ParseCIDR(s string) (CIDR, error) { return vpc.ParseCIDR(s) }
 
 // ---- DHCP over the virtual LAN (paper §II.B's "unmodified protocols") ----
 
