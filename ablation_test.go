@@ -57,7 +57,10 @@ func ablationWorldNAT(b *testing.B, pulse sim.Duration, natTimeout sim.Duration,
 			b.Fatal(err)
 		}
 		hosts = append(hosts, h)
-		hh := h
+		// Capture the loop variables: under go.mod's go 1.21 semantics
+		// the closure otherwise runs with i == 2 and both hosts would
+		// create their Dom0 on the same virtual IP.
+		i, hh := i, h
 		eng.Spawn("join", func(p *sim.Proc) {
 			if e := hh.Join(p, rdv.Addr()); e != nil {
 				b.Errorf("join: %v", e)

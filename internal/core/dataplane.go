@@ -42,6 +42,10 @@ func (h *Host) onPacket(pkt netsim.Packet) {
 		h.sock.SendTo(pkt.Src, resp)
 	case paEchoResp:
 		h.onEchoResp(pkt.Payload)
+	case paVNISet:
+		if t, ok := h.byAddr[pkt.Src]; ok {
+			h.onVNISet(t, pkt.Payload)
+		}
 	case rendezvous.RelayMagic:
 		h.onRelayEnvelope(pkt)
 	}
@@ -71,6 +75,8 @@ func (h *Host) onRelayEnvelope(pkt netsim.Packet) {
 		h.tunnelSend(t, resp)
 	case paEchoResp:
 		h.onEchoResp(inner)
+	case paVNISet:
+		h.onVNISet(t, inner)
 	}
 }
 
@@ -206,6 +212,11 @@ func (h *Host) establish(t *Tunnel) {
 	}
 	t.established = true
 	t.pulser = sim.NewTicker(h.eng, h.cfg.PulsePeriod, func() { h.pulse(t) })
+	// Tell the far end which virtual networks we carry, so its flooding
+	// can skip this tunnel for tags we would only drop.
+	h.tunnelSend(t, h.vniSetPacket())
+	t.announcedGen = h.vniGen
+	t.sinceAnnounce = 0
 	// Wake connect waiters.
 	if ws := h.connWaiters[t.Peer]; len(ws) > 0 {
 		delete(h.connWaiters, t.Peer)
@@ -223,6 +234,10 @@ func (h *Host) pulse(t *Tunnel) {
 	}
 	t.PulsesOut++
 	h.tunnelSend(t, []byte{paPulse, 0x00})
+	// Ride the keepalive tick to recover lost VNI announcements: resent
+	// immediately when the segment set changed, else only every
+	// vniRefreshPulses (the keepalive itself stays 2 bytes).
+	h.maybeAnnounceVNIs(t)
 }
 
 func (h *Host) onPulse(src netsim.Addr) {
@@ -299,6 +314,11 @@ func (h *Host) onTapFrame(seg *segment, f *ether.Frame) {
 	}
 	wire := MarshalVNIFrame(seg.vni, f)
 	send := func(t *Tunnel) {
+		// Per-tenant metering: a tenant over its quota drops here, at
+		// the sender, before touching the shared tunnel.
+		if !h.quotaAdmit(t, seg.vni, len(wire)) {
+			return
+		}
 		t.FramesOut++
 		t.BytesOut += uint64(len(wire))
 		h.FramesSent++
@@ -312,10 +332,20 @@ func (h *Host) onTapFrame(seg *segment, f *ether.Frame) {
 			}
 		}
 		h.FloodedFrames++
+		h.floodByVNI[seg.vni]++
 		for _, t := range h.sortedTunnels() {
-			if t.established {
-				send(t)
+			if !t.established {
+				continue
 			}
+			// Smarter flooding: skip tunnels whose far end announced it
+			// has no segment (and no peering route) for this tag — the
+			// frame could only die at their isolation check.
+			if !h.floodUseful(t, seg.vni) {
+				h.SuppressedFloods++
+				h.suppressByVNI[seg.vni]++
+				continue
+			}
+			send(t)
 		}
 	}
 	if h.cfg.PacketCost > 0 {
@@ -355,7 +385,12 @@ func (h *Host) onTunnelFrame(t *Tunnel, payload []byte) {
 	h.FramesRecv++
 	seg, ok := h.segments[vni]
 	if !ok {
-		// Another tenant's traffic: never learned, never injected.
+		// No segment for the tag: either a peered network's traffic —
+		// the inter-VNI gateway re-injects it when policy allows — or
+		// another tenant's, which is never learned and never injected.
+		if h.gatewayInject(t, vni, f) {
+			return
+		}
 		h.CrossVNIDrops++
 		return
 	}

@@ -38,6 +38,7 @@ const (
 	paEcho     = 0x14 // tunnel RTT probe
 	paEchoResp = 0x15 // tunnel RTT response
 	paFrameVNI = 0x17 // VNI-tagged encapsulated Ethernet frame (multi-tenant; 0x16 is rendezvous.RelayMagic)
+	paVNISet   = 0x18 // VNI membership announcement (flood suppression)
 )
 
 // Errors returned by Host operations.
@@ -125,11 +126,30 @@ type Tunnel struct {
 	Relayed   bool
 	relayChan uint64
 
+	// remoteVNIs is the far end's announced segment set; vniKnown marks
+	// that at least one announcement arrived (until then the host floods
+	// conservatively). Used by VNI-aware flood suppression.
+	remoteVNIs map[uint32]bool
+	vniKnown   bool
+	// announcedGen / sinceAnnounce gate re-announcing OUR segment set on
+	// this tunnel: immediately when the set changed, else only as a slow
+	// periodic refresh against lost announcements.
+	announcedGen  uint64
+	sinceAnnounce int
+
+	// quotas are the per-tenant token buckets metering this tunnel.
+	quotas map[string]*tokenBucket
+
 	// Stats.
 	FramesOut, FramesIn uint64
 	BytesOut, BytesIn   uint64
 	PulsesOut, PulsesIn uint64
+	QuotaDrops          uint64
 }
+
+// CarriesVNI reports whether the far end announced a segment for vni
+// (false also when no announcement has arrived yet).
+func (t *Tunnel) CarriesVNI(vni uint32) bool { return t.vniKnown && t.remoteVNIs[vni] }
 
 // Established reports whether hole punching (or relay setup) completed.
 func (t *Tunnel) Established() bool { return t.established }
@@ -168,6 +188,24 @@ type Host struct {
 	byAddr  map[netsim.Addr]*Tunnel
 	byChan  map[uint64]*Tunnel // relayed tunnels keyed by channel id
 
+	// peering is the inter-VNI gateway policy: which foreign tags may be
+	// re-injected into which local segments, for which destinations.
+	peering *ether.PeeringTable
+	// floodAll disables VNI-aware flood suppression (the seed behaviour:
+	// tagged broadcast floods every tunnel and dies at the receiver's
+	// isolation check). Tests and experiments use it to exercise the
+	// receiver-side check in isolation.
+	floodAll bool
+
+	// vniTenant / tenantQuota configure per-tenant send-rate metering
+	// (see quota.go); buckets live on the tunnels.
+	vniTenant   map[uint32]string
+	tenantQuota map[string]QuotaConfig
+
+	// vniGen counts segment-set changes; tunnels compare it against
+	// their announcedGen to decide whether a refresh is due.
+	vniGen uint64
+
 	rdv      netsim.Addr
 	joined   bool
 	natClass stun.NATClass
@@ -193,6 +231,20 @@ type Host struct {
 	// host has no segment for — traffic from another tenant that the
 	// isolation check discarded.
 	CrossVNIDrops uint64
+	// SuppressedFloods counts flooded frames NOT sent because the far
+	// end announced it has no segment (and no peering route) for the tag.
+	SuppressedFloods uint64
+	// PeeredForwards / PeerPolicyDrops count the inter-VNI gateway's
+	// decisions: foreign-tagged frames re-injected into a peered local
+	// segment, and frames a peering existed for but whose destination
+	// the policy refused.
+	PeeredForwards  uint64
+	PeerPolicyDrops uint64
+	// QuotaDrops counts outbound frames dropped by per-tenant metering.
+	QuotaDrops uint64
+	// floodByVNI / suppressByVNI break floods down per virtual network.
+	floodByVNI    map[uint32]uint64
+	suppressByVNI map[uint32]uint64
 }
 
 // NewHost creates a WAVNet host on a physical machine. The bridge, tap
@@ -200,17 +252,22 @@ type Host struct {
 func NewHost(phys *netsim.Host, name string, cfg Config) (*Host, error) {
 	cfg = cfg.withDefaults()
 	h := &Host{
-		name:        name,
-		phys:        phys,
-		eng:         phys.Engine(),
-		cfg:         cfg,
-		segments:    make(map[uint32]*segment),
-		tunnels:     make(map[string]*Tunnel),
-		byAddr:      make(map[netsim.Addr]*Tunnel),
-		byChan:      make(map[uint64]*Tunnel),
-		waiters:     make(map[uint64]func(*rendezvous.Msg)),
-		connWaiters: make(map[string][]func()),
-		echoWaiters: make(map[uint64]func(sim.Duration)),
+		name:          name,
+		phys:          phys,
+		eng:           phys.Engine(),
+		cfg:           cfg,
+		segments:      make(map[uint32]*segment),
+		tunnels:       make(map[string]*Tunnel),
+		byAddr:        make(map[netsim.Addr]*Tunnel),
+		byChan:        make(map[uint64]*Tunnel),
+		waiters:       make(map[uint64]func(*rendezvous.Msg)),
+		connWaiters:   make(map[string][]func()),
+		echoWaiters:   make(map[uint64]func(sim.Duration)),
+		peering:       ether.NewPeeringTable(),
+		vniTenant:     make(map[uint32]string),
+		tenantQuota:   make(map[string]QuotaConfig),
+		floodByVNI:    make(map[uint32]uint64),
+		suppressByVNI: make(map[uint32]uint64),
 	}
 	sock, err := phys.BindUDP(cfg.Port, h.onPacket)
 	if err != nil {
@@ -244,6 +301,7 @@ func (h *Host) JoinVNI(vni uint32) *ether.Bridge {
 	seg, ok := h.segments[vni]
 	if !ok {
 		seg = h.addSegment(vni)
+		h.announceVNIs()
 	}
 	return seg.bridge
 }
@@ -257,6 +315,7 @@ func (h *Host) LeaveVNI(vni uint32) {
 	}
 	delete(h.segments, vni)
 	h.wswitch.DropVNI(vni)
+	h.announceVNIs()
 }
 
 // SegmentBridge returns the bridge of one virtual network segment.
@@ -291,6 +350,9 @@ func (h *Host) Bridge() *ether.Bridge { return h.segments[0].bridge }
 // and VNI its rendezvous registration is scoped to ("" and 0 before
 // JoinVPC).
 func (h *Host) Network() (string, uint32) { return h.network, h.vni }
+
+// Joined reports whether the host currently holds a rendezvous session.
+func (h *Host) Joined() bool { return h.joined }
 
 // NATClass reports the STUN classification from Join.
 func (h *Host) NATClass() stun.NATClass { return h.natClass }

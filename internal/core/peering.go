@@ -1,0 +1,230 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"wavnet/internal/ether"
+	"wavnet/internal/metrics"
+	"wavnet/internal/netsim"
+)
+
+// VPC peering: a policy-checked inter-VNI gateway on the WAV-Switch
+// path. A frame arriving tagged with a VNI this host has no segment for
+// is normally another tenant's traffic and dies at the isolation check;
+// when a peering rule links that VNI to a local segment AND the frame's
+// destination address (IPv4 header or ARP target) falls inside the
+// rule's allowed prefixes, the gateway re-injects the frame into the
+// peered segment instead. Because the check runs on the receiver, two
+// networks exchange traffic exactly when BOTH ends carry the policy —
+// a host that was never told about the peering still drops everything.
+//
+// VNI announcements ride the same tunnels: each host tells its peers
+// which segments it carries (on tunnel establishment, on every segment
+// change, and refreshed with every CONNECT_PULSE), which lets the
+// sender suppress tagged floods toward tunnels that could only drop
+// them (the ROADMAP's "smarter flooding").
+
+// AllowPeering installs the directed gateway rule permitting frames
+// tagged fromVNI to be re-injected into the local segment of intoVNI
+// when their destination falls inside one of the prefixes (empty =
+// every destination).
+func (h *Host) AllowPeering(fromVNI, intoVNI uint32, prefixes []ether.Prefix) {
+	h.peering.Allow(fromVNI, intoVNI, prefixes)
+}
+
+// RevokePeering removes the directed gateway rule.
+func (h *Host) RevokePeering(fromVNI, intoVNI uint32) {
+	h.peering.Revoke(fromVNI, intoVNI)
+}
+
+// PeeringRule reports the installed rule for (fromVNI, intoVNI).
+func (h *Host) PeeringRule(fromVNI, intoVNI uint32) ([]ether.Prefix, bool) {
+	return h.peering.Rule(fromVNI, intoVNI)
+}
+
+// DropPeeringsOf removes every gateway rule touching vni in either
+// direction (membership teardown).
+func (h *Host) DropPeeringsOf(vni uint32) { h.peering.DropVNI(vni) }
+
+// SetFloodAll disables (true) or re-enables (false) VNI-aware flood
+// suppression. With suppression off the host floods tagged frames to
+// every established tunnel, as the data plane did before announcements
+// existed; foreign receivers then drop them at the isolation check.
+func (h *Host) SetFloodAll(v bool) { h.floodAll = v }
+
+// gatewayInject is the receive-side inter-VNI gateway: called for a
+// frame tagged with a VNI this host has no segment for. It returns true
+// when the frame was consumed by peering (re-injected or counted as a
+// policy drop); false sends the caller to the plain isolation drop.
+func (h *Host) gatewayInject(t *Tunnel, vni uint32, f *ether.Frame) bool {
+	routes := h.peering.Routes(vni)
+	if len(routes) == 0 {
+		return false
+	}
+	dst, hasDst := frameDstIP(f)
+	consumed := false
+	for _, into := range routes {
+		seg, ok := h.segments[into]
+		if !ok {
+			continue
+		}
+		consumed = true
+		if !hasDst || !h.peering.Allows(vni, into, dst) {
+			h.PeerPolicyDrops++
+			continue
+		}
+		// Teach both tables where the sender lives: under its own VNI
+		// (more gateway traffic from it) and under the local segment's
+		// (so replies unicast straight back over this tunnel).
+		h.wswitch.Learn(vni, f.Src, t)
+		h.wswitch.Learn(into, f.Src, t)
+		h.PeeredForwards++
+		inject := func() { seg.tap.Send(f) }
+		if h.cfg.PacketCost > 0 {
+			h.eng.Schedule(h.cfg.PacketCost, inject)
+		} else {
+			inject()
+		}
+	}
+	return consumed
+}
+
+// frameDstIP extracts the destination the peering policy is checked
+// against: the IPv4 header's destination address, or an ARP packet's
+// target address (so address resolution crosses the gateway under the
+// same policy as the traffic it enables).
+func frameDstIP(f *ether.Frame) (netsim.IP, bool) {
+	switch f.Type {
+	case ether.TypeIPv4:
+		if len(f.Payload) < 20 {
+			return 0, false
+		}
+		return netsim.IP(binary.BigEndian.Uint32(f.Payload[16:20])), true
+	case ether.TypeARP:
+		a, err := ether.UnmarshalARP(f.Payload)
+		if err != nil {
+			return 0, false
+		}
+		return a.TargetIP, true
+	default:
+		return 0, false
+	}
+}
+
+// floodUseful reports whether sending a frame tagged vni over t can
+// possibly be delivered: the far end carries the VNI, carries a VNI
+// peered with it (its gateway may re-inject), or has not announced its
+// segment set yet (flood conservatively).
+func (h *Host) floodUseful(t *Tunnel, vni uint32) bool {
+	if vni == 0 || h.floodAll || !t.vniKnown {
+		return true
+	}
+	if t.remoteVNIs[vni] {
+		return true
+	}
+	for _, peer := range h.peering.PeersOf(vni) {
+		if t.remoteVNIs[peer] {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- VNI membership announcements ----
+
+// vniSetPacket encodes [paVNISet][n:2][vni:4]*n over the host's current
+// segment set.
+func (h *Host) vniSetPacket() []byte {
+	vnis := h.VNIs()
+	b := make([]byte, 3+4*len(vnis))
+	b[0] = paVNISet
+	binary.BigEndian.PutUint16(b[1:], uint16(len(vnis)))
+	for i, vni := range vnis {
+		binary.BigEndian.PutUint32(b[3+4*i:], vni)
+	}
+	return b
+}
+
+// vniRefreshPulses is how many keepalive pulses may pass before a
+// tunnel re-sends an unchanged VNI announcement (loss recovery without
+// doubling every keepalive).
+const vniRefreshPulses = 12
+
+// announceVNIs pushes the current segment set to every established
+// tunnel (called whenever a segment is added or dropped).
+func (h *Host) announceVNIs() {
+	h.vniGen++
+	pkt := h.vniSetPacket()
+	for _, t := range h.tunnels {
+		if t.established {
+			h.tunnelSend(t, pkt)
+			t.announcedGen = h.vniGen
+			t.sinceAnnounce = 0
+		}
+	}
+}
+
+// maybeAnnounceVNIs re-announces on one tunnel only when the segment
+// set changed since the last announcement there, or as a slow periodic
+// refresh; rides the keepalive tick.
+func (h *Host) maybeAnnounceVNIs(t *Tunnel) {
+	t.sinceAnnounce++
+	if t.announcedGen == h.vniGen && t.sinceAnnounce < vniRefreshPulses {
+		return
+	}
+	h.tunnelSend(t, h.vniSetPacket())
+	t.announcedGen = h.vniGen
+	t.sinceAnnounce = 0
+}
+
+// onVNISet records the far end's announced segment set.
+func (h *Host) onVNISet(t *Tunnel, payload []byte) {
+	if len(payload) < 3 {
+		return
+	}
+	n := int(binary.BigEndian.Uint16(payload[1:]))
+	if len(payload) < 3+4*n {
+		return
+	}
+	t.lastHeard = h.eng.Now()
+	set := make(map[uint32]bool, n)
+	for i := 0; i < n; i++ {
+		set[binary.BigEndian.Uint32(payload[3+4*i:])] = true
+	}
+	t.remoteVNIs = set
+	t.vniKnown = true
+}
+
+// ---- uniform counter export ----
+
+// VPCCounters exports the host's multi-tenant data-plane counters as a
+// metrics.CounterSet: isolation drops, gateway decisions, quota drops,
+// and per-VNI flood/suppression breakdowns. Experiments aggregate these
+// instead of poking struct fields.
+func (h *Host) VPCCounters() *metrics.CounterSet {
+	c := metrics.NewCounterSet()
+	c.Set("cross_vni_drops", h.CrossVNIDrops)
+	c.Set("peered_forwards", h.PeeredForwards)
+	c.Set("peer_policy_drops", h.PeerPolicyDrops)
+	c.Set("quota_drops", h.QuotaDrops)
+	c.Set("flooded_frames", h.FloodedFrames)
+	c.Set("suppressed_floods", h.SuppressedFloods)
+	vnis := make([]uint32, 0, len(h.floodByVNI)+len(h.suppressByVNI))
+	seen := make(map[uint32]bool)
+	for vni := range h.floodByVNI {
+		vnis, seen[vni] = append(vnis, vni), true
+	}
+	for vni := range h.suppressByVNI {
+		if !seen[vni] {
+			vnis = append(vnis, vni)
+		}
+	}
+	sort.Slice(vnis, func(i, j int) bool { return vnis[i] < vnis[j] })
+	for _, vni := range vnis {
+		c.Set(fmt.Sprintf("flood.vni%d", vni), h.floodByVNI[vni])
+		c.Set(fmt.Sprintf("suppress.vni%d", vni), h.suppressByVNI[vni])
+	}
+	return c
+}

@@ -1,0 +1,138 @@
+package core
+
+import "wavnet/internal/sim"
+
+// Per-tenant bandwidth quotas: the Packet Assembler meters each
+// tenant's encapsulated traffic with a token bucket per (tenant,
+// tunnel), so one tenant's bulk transfer cannot starve the shared
+// wide-area tunnels for everyone else. Frames that find an empty bucket
+// are dropped at the sender (before the wire), exactly like a policer
+// on a physical uplink; TCP inside the tenant backs off in response.
+
+// QuotaConfig caps one tenant's send rate on this host.
+type QuotaConfig struct {
+	// Tenant names the bucket; every VNI mapped to the same tenant
+	// shares that tenant's buckets.
+	Tenant string
+	// RateBps is the sustained rate in bits per second per tunnel.
+	RateBps float64
+	// BurstBytes is the bucket depth (default 64 KiB).
+	BurstBytes int
+}
+
+const defaultQuotaBurst = 64 << 10
+
+func (q QuotaConfig) withDefaults() QuotaConfig {
+	if q.BurstBytes <= 0 {
+		q.BurstBytes = defaultQuotaBurst
+	}
+	return q
+}
+
+// tokenBucket is a classic leaky/token bucket in simulated time.
+type tokenBucket struct {
+	bytesPerSec float64
+	burst       float64
+	tokens      float64
+	last        sim.Time
+}
+
+func newTokenBucket(now sim.Time, cfg QuotaConfig) *tokenBucket {
+	return &tokenBucket{
+		bytesPerSec: cfg.RateBps / 8,
+		burst:       float64(cfg.BurstBytes),
+		tokens:      float64(cfg.BurstBytes),
+		last:        now,
+	}
+}
+
+// take refills by elapsed simulated time and withdraws n bytes; false
+// means the frame exceeds the quota right now and must be dropped.
+func (b *tokenBucket) take(now sim.Time, n int) bool {
+	if now.Sub(b.last) > 0 {
+		b.tokens += now.Sub(b.last).Seconds() * b.bytesPerSec
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens < float64(n) {
+		return false
+	}
+	b.tokens -= float64(n)
+	return true
+}
+
+// SetVNIQuota maps a VNI to a tenant and caps that tenant's per-tunnel
+// send rate on this host. Re-applying an identical configuration is a
+// no-op (existing buckets keep their fill level); changing the rate or
+// burst resets the tenant's buckets on every tunnel.
+func (h *Host) SetVNIQuota(vni uint32, cfg QuotaConfig) {
+	cfg = cfg.withDefaults()
+	if cur, ok := h.tenantQuota[cfg.Tenant]; ok && cur == cfg && h.vniTenant[vni] == cfg.Tenant {
+		return
+	}
+	h.vniTenant[vni] = cfg.Tenant
+	h.tenantQuota[cfg.Tenant] = cfg
+	for _, t := range h.tunnels {
+		delete(t.quotas, cfg.Tenant)
+	}
+}
+
+// ClearVNIQuota removes the VNI's quota mapping; its traffic is
+// unmetered again.
+func (h *Host) ClearVNIQuota(vni uint32) {
+	tenant, ok := h.vniTenant[vni]
+	if !ok {
+		return
+	}
+	delete(h.vniTenant, vni)
+	// Drop the tenant's rate config and buckets once no VNI uses them.
+	for _, other := range h.vniTenant {
+		if other == tenant {
+			return
+		}
+	}
+	delete(h.tenantQuota, tenant)
+	for _, t := range h.tunnels {
+		delete(t.quotas, tenant)
+	}
+}
+
+// VNIQuota reports the quota configured for a VNI, if any.
+func (h *Host) VNIQuota(vni uint32) (QuotaConfig, bool) {
+	tenant, ok := h.vniTenant[vni]
+	if !ok {
+		return QuotaConfig{}, false
+	}
+	cfg, ok := h.tenantQuota[tenant]
+	return cfg, ok
+}
+
+// quotaAdmit charges one outbound wire-frame of the given VNI against
+// the tenant's bucket on tunnel t; false means the frame must be
+// dropped (and is counted).
+func (h *Host) quotaAdmit(t *Tunnel, vni uint32, wireLen int) bool {
+	tenant, ok := h.vniTenant[vni]
+	if !ok {
+		return true
+	}
+	cfg, ok := h.tenantQuota[tenant]
+	if !ok || cfg.RateBps <= 0 {
+		return true
+	}
+	if t.quotas == nil {
+		t.quotas = make(map[string]*tokenBucket)
+	}
+	b, ok := t.quotas[tenant]
+	if !ok {
+		b = newTokenBucket(h.eng.Now(), cfg)
+		t.quotas[tenant] = b
+	}
+	if !b.take(h.eng.Now(), wireLen) {
+		h.QuotaDrops++
+		t.QuotaDrops++
+		return false
+	}
+	return true
+}

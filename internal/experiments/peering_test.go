@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPeeringQuota(t *testing.T) {
+	r, err := PeeringQuota(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Policy) != 3 {
+		t.Fatalf("policy rows = %d", len(r.Policy))
+	}
+	byCase := map[string]PeeringRow{}
+	for _, row := range r.Policy {
+		byCase[row.Case] = row
+	}
+	iso := byCase["isolated"]
+	if iso.ToAnchorOK || iso.ToMemberOK {
+		t.Fatalf("isolated pair exchanged traffic: %+v", iso)
+	}
+	full := byCase["peered-full"]
+	if !full.ToAnchorOK || !full.ToMemberOK {
+		t.Fatalf("fully peered pair blocked traffic: %+v", full)
+	}
+	if full.Forwards == 0 {
+		t.Fatalf("fully peered pair recorded no gateway forwards")
+	}
+	part := byCase["peered-partial"]
+	if !part.ToAnchorOK {
+		t.Fatalf("partial policy blocked the allowed destination: %+v", part)
+	}
+	if part.ToMemberOK {
+		t.Fatalf("partial policy delivered a denied destination: %+v", part)
+	}
+	if part.PolicyDrops == 0 {
+		t.Fatalf("partial policy recorded no policy drops (vacuous)")
+	}
+
+	if len(r.Quota) != 2 {
+		t.Fatalf("quota rows = %d", len(r.Quota))
+	}
+	base, capped := r.Quota[0], r.Quota[1]
+	if base.QuotaMbps != 0 || capped.QuotaMbps <= 0 {
+		t.Fatalf("unexpected sweep points: %+v", r.Quota)
+	}
+	if base.LimitedMbps <= 0 || base.OpenMbps <= 0 || capped.LimitedMbps <= 0 || capped.OpenMbps <= 0 {
+		t.Fatalf("a transfer did not complete: %+v", r.Quota)
+	}
+	if base.QuotaDrops != 0 {
+		t.Fatalf("unmetered baseline dropped %d frames", base.QuotaDrops)
+	}
+	if capped.QuotaDrops == 0 {
+		t.Fatalf("metered run dropped nothing; the bucket never engaged")
+	}
+	// Enforcement: the metered tenant lands near its cap (policers let a
+	// burst through, so allow slack) while the concurrent open tenant
+	// keeps a decisively higher rate.
+	if capped.LimitedMbps > capped.QuotaMbps*1.5 {
+		t.Fatalf("limited tenant got %.2f Mbps with a %.0f Mbps quota", capped.LimitedMbps, capped.QuotaMbps)
+	}
+	if capped.OpenMbps < capped.LimitedMbps*2 {
+		t.Fatalf("open tenant (%.2f Mbps) not clearly above limited (%.2f Mbps)", capped.OpenMbps, capped.LimitedMbps)
+	}
+	if !strings.Contains(r.String(), "Policy drops") || !strings.Contains(r.String(), "Quota drops") {
+		t.Fatal("table missing columns")
+	}
+}

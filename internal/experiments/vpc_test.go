@@ -23,6 +23,9 @@ func TestVPCScale(t *testing.T) {
 		if row.Tenants > 1 && row.CrossDropped == 0 {
 			t.Fatalf("%d tenants: no traffic crossed the forced tunnel (vacuous)", row.Tenants)
 		}
+		if row.Tenants > 1 && row.FloodSuppressed == 0 {
+			t.Fatalf("%d tenants: smarter flooding suppressed nothing", row.Tenants)
+		}
 		if row.IntraRTT <= 0 {
 			t.Fatalf("%d tenants: intra RTT %v", row.Tenants, row.IntraRTT)
 		}

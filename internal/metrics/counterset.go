@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CounterSet is an insertion-ordered collection of named event counters:
+// the uniform export format for data-plane statistics (VPC isolation
+// drops, per-VNI flood and suppression counts, quota drops), so
+// experiments render and aggregate them through one API instead of
+// poking subsystem struct fields.
+type CounterSet struct {
+	names []string
+	vals  map[string]uint64
+}
+
+// NewCounterSet returns an empty set.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{vals: make(map[string]uint64)}
+}
+
+// Set assigns a counter's value, registering the name on first use.
+func (c *CounterSet) Set(name string, v uint64) {
+	if _, ok := c.vals[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.vals[name] = v
+}
+
+// Add increments a counter by v, registering the name on first use.
+func (c *CounterSet) Add(name string, v uint64) {
+	if _, ok := c.vals[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.vals[name] += v
+}
+
+// Get returns a counter's value (0 when absent).
+func (c *CounterSet) Get(name string) uint64 { return c.vals[name] }
+
+// Has reports whether the counter was ever set.
+func (c *CounterSet) Has(name string) bool {
+	_, ok := c.vals[name]
+	return ok
+}
+
+// Names returns the counter names in insertion order.
+func (c *CounterSet) Names() []string { return append([]string(nil), c.names...) }
+
+// Merge adds every counter of other into c (summing shared names).
+func (c *CounterSet) Merge(other *CounterSet) {
+	for _, name := range other.names {
+		c.Add(name, other.vals[name])
+	}
+}
+
+// String renders "name=value" pairs in insertion order.
+func (c *CounterSet) String() string {
+	var b strings.Builder
+	for i, name := range c.names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", name, c.vals[name])
+	}
+	return b.String()
+}

@@ -162,6 +162,10 @@ type Server struct {
 
 	pendingIntro map[uint64]netsim.Addr // intro ID -> requester host addr
 
+	// peered holds the network pairs the control plane may introduce
+	// hosts across (VPC peering); lookups stay strictly scoped.
+	peered map[[2]string]bool
+
 	nextID uint64
 
 	// Stats.
@@ -182,6 +186,7 @@ func NewServer(host *netsim.Host, stunAltIP netsim.IP, cfg Config) (*Server, err
 		sessions:     make(map[string]*session),
 		relays:       make(map[uint64]*relayChannel),
 		pendingIntro: make(map[uint64]netsim.Addr),
+		peered:       make(map[[2]string]bool),
 		locator:      NewLocator(),
 	}
 	sock, err := host.BindUDP(cfg.Port, s.onPacket)
@@ -419,6 +424,28 @@ func (s *Server) onLookup(src netsim.Addr, m *Msg) {
 	s.reply(src, &Msg{Kind: kindLookupReply, ID: m.ID, Records: recs})
 }
 
+// peerKey normalizes an unordered network pair.
+func peerKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// AllowPeering permits brokered connects between hosts of the two named
+// virtual networks (VPC peering). Lookup and group queries remain
+// strictly scoped — peering opens introductions, not discovery.
+func (s *Server) AllowPeering(netA, netB string) { s.peered[peerKey(netA, netB)] = true }
+
+// RevokePeering withdraws a peering allowance.
+func (s *Server) RevokePeering(netA, netB string) { delete(s.peered, peerKey(netA, netB)) }
+
+// netsLinked reports whether hosts of the two networks may be
+// introduced to each other: same network, or an explicit peering.
+func (s *Server) netsLinked(a, b string) bool {
+	return a == b || s.peered[peerKey(a, b)]
+}
+
 // onConnect brokers a connection: find the target (locally or via its
 // own server), have both sides told to punch simultaneously.
 func (s *Server) onConnect(src netsim.Addr, m *Msg) {
@@ -433,9 +460,9 @@ func (s *Server) onConnect(src netsim.Addr, m *Msg) {
 	target := m.Peer.Name
 
 	if ses, local := s.sessions[target]; local {
-		if ses.rec.Net != reqRec.Net {
+		if !s.netsLinked(ses.rec.Net, reqRec.Net) {
 			// Tenant isolation: the broker never introduces hosts across
-			// virtual networks.
+			// virtual networks unless an explicit peering allows it.
 			s.reply(src, &Msg{Kind: kindError, ID: m.ID, Error: "cross-tenant connect refused"})
 			return
 		}
@@ -458,7 +485,7 @@ func (s *Server) onConnect(src netsim.Addr, m *Msg) {
 			if json.Unmarshal(r.Value, &rec) != nil {
 				continue
 			}
-			if rec.Net != reqRec.Net {
+			if !s.netsLinked(rec.Net, reqRec.Net) {
 				s.reply(src, &Msg{Kind: kindError, ID: id, Error: "cross-tenant connect refused"})
 				return
 			}
@@ -503,7 +530,7 @@ func (s *Server) onIntroduce(src netsim.Addr, m *Msg) {
 		s.reply(src, &Msg{Kind: kindError, ID: m.ID, Error: "unknown host " + m.Name})
 		return
 	}
-	if m.Rec != nil && m.Rec.Net != ses.rec.Net {
+	if m.Rec != nil && !s.netsLinked(m.Rec.Net, ses.rec.Net) {
 		// The requester's broker should have refused already; enforce
 		// tenant isolation here too in case records were stale.
 		s.reply(src, &Msg{Kind: kindError, ID: m.ID, Error: "cross-tenant connect refused"})
@@ -552,16 +579,20 @@ func (s *Server) onIntroAck(m *Msg) {
 
 // onGroupQuery runs the locality-sensitive grouping over the locator's
 // latency matrix. Queries from a virtual network only ever select
-// co-tenant hosts; the default network keeps the unscoped behaviour so
-// hosts that report RTTs without maintaining broker sessions still
-// participate.
+// co-tenant hosts. Default-network queries skip hosts whose session is
+// scoped to a tenant (a brokered connect to them would be refused) but
+// still admit hosts that report RTTs without maintaining a broker
+// session.
 func (s *Server) onGroupQuery(src netsim.Addr, m *Msg) {
 	var names []string
 	var err error
+	s.expire()
 	if m.Net == "" {
-		names, err = s.locator.Group(m.K)
+		names, err = s.locator.GroupAmong(m.K, func(name string) bool {
+			ses, ok := s.sessions[name]
+			return !ok || ses.rec.Net == ""
+		})
 	} else {
-		s.expire()
 		allowed := make(map[string]bool)
 		for name, ses := range s.sessions {
 			if ses.rec.Net == m.Net {

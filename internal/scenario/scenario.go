@@ -280,10 +280,95 @@ func (w *World) VPC() *vpc.Manager {
 	return w.vpcMgr
 }
 
+// ---- tenant API v2: declarative specs + reconciling Apply ----
+
+// Apply converges the world onto a declarative TenantSpec: networks are
+// created or torn down, members admitted or evicted (joining machines
+// to the rendezvous layer on demand), peering gateways and broker
+// allowances installed or revoked, and per-tenant quotas asserted. It
+// blocks the calling process and returns the list of actions taken;
+// applying an unchanged spec again returns an empty report. On error
+// the report still lists the actions performed before the failure.
+func (w *World) Apply(p *sim.Proc, spec vpc.TenantSpec) (*vpc.ApplyReport, error) {
+	return w.VPC().Reconcile(p, spec, w)
+}
+
+// ResolveHost implements vpc.Fabric: it returns the machine's WAVNet
+// host, creating it and joining it to the rendezvous server first when
+// needed.
+func (w *World) ResolveHost(p *sim.Proc, key string) (*core.Host, error) {
+	m, ok := w.byKey[key]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown machine %q", key)
+	}
+	if m.WAV == nil {
+		h, err := core.NewHost(m.Phys, m.Key, core.Config{Attrs: m.Spec.Attrs})
+		if err != nil {
+			return nil, err
+		}
+		m.WAV = h
+	}
+	if !m.WAV.Joined() {
+		if err := m.WAV.Join(p, w.Rdv.Addr()); err != nil {
+			return nil, fmt.Errorf("scenario: join %s: %w", key, err)
+		}
+	}
+	return m.WAV, nil
+}
+
+// AllowNetPeering implements vpc.Fabric against the world's broker.
+func (w *World) AllowNetPeering(a, b string) { w.Rdv.AllowPeering(a, b) }
+
+// RevokeNetPeering implements vpc.Fabric against the world's broker.
+func (w *World) RevokeNetPeering(a, b string) { w.Rdv.RevokePeering(a, b) }
+
+// ApplySync runs Apply in a fresh process and drives the engine in
+// slices until it converges, for callers outside simulation context
+// (tests, experiment drivers, and the legacy imperative shims).
+func (w *World) ApplySync(spec vpc.TenantSpec) (*vpc.ApplyReport, error) {
+	var rep *vpc.ApplyReport
+	var err error
+	done := false
+	w.Eng.Spawn("apply-"+spec.Tenant, func(p *sim.Proc) {
+		rep, err = w.Apply(p, spec)
+		done = true
+	})
+	members := 0
+	for _, ns := range spec.Networks {
+		members += len(ns.Members)
+	}
+	budget := time.Duration(members+len(spec.Peerings))*time.Minute + 30*time.Second
+	// Drive the engine in slices so the world's clock stops close to
+	// when convergence actually finishes (setup time is a measurement).
+	for spent := time.Duration(0); !done && spent < budget; spent += time.Second {
+		w.Eng.RunFor(time.Second)
+	}
+	if err != nil {
+		return rep, err
+	}
+	if !done {
+		return rep, fmt.Errorf("scenario: apply for tenant %s still pending", spec.Tenant)
+	}
+	return rep, nil
+}
+
 // CreateVPC registers a new isolated virtual network on the world's
 // control plane, e.g. CreateVPC("red", "10.0.0.0/24").
+//
+// Deprecated: declare the network in a wavnet.TenantSpec and call
+// World.Apply; CreateVPC is a shim that applies a one-network spec for
+// a tenant of the same name.
 func (w *World) CreateVPC(name, cidr string) (*vpc.Network, error) {
-	return w.VPC().Create(name, cidr, vpc.NetworkConfig{})
+	if _, ok := w.VPC().Get(name); ok {
+		return nil, vpc.ErrNetworkExists
+	}
+	spec := w.VPC().SnapshotTenant(name)
+	spec.Networks = append(spec.Networks, vpc.NetworkSpec{Name: name, CIDR: cidr})
+	if _, err := w.ApplySync(spec); err != nil {
+		return nil, err
+	}
+	n, _ := w.VPC().Get(name)
+	return n, nil
 }
 
 // JoinVPC admits the listed machines (all, when none given) into a
@@ -292,37 +377,57 @@ func (w *World) CreateVPC(name, cidr string) (*vpc.Network, error) {
 // an address from the network's pool (DHCP-leased past the anchor).
 // It drives the engine internally. Unlike WAVNetUp, no cross-tenant
 // tunnels are built.
+//
+// Deprecated: list the members in a wavnet.TenantSpec and call
+// World.Apply; JoinVPC is a shim that snapshots the owning tenant's
+// live state, appends the machines to the network's member list and
+// re-applies.
 func (w *World) JoinVPC(network string, keys ...string) error {
-	ms := w.pick(keys)
-	if err := w.joinHosts(ms, false); err != nil {
-		return err
-	}
-	// Sequential admission keeps the run deterministic and lets each
-	// member lease its address over an already-working tenant LAN.
-	var admitErr error
-	done := false
-	w.Eng.Spawn("vpc-admit-"+network, func(p *sim.Proc) {
-		for _, m := range ms {
-			if _, err := w.VPC().Admit(p, m.WAV, network); err != nil {
-				admitErr = fmt.Errorf("scenario: admit %s into %s: %w", m.Key, network, err)
-				break
-			}
+	n, ok := w.VPC().Get(network)
+	if !ok {
+		if network == "" {
+			return vpc.ErrNoDefault
 		}
-		done = true
-	})
-	// Drive the engine in slices so the world's clock stops close to
-	// when admission actually finishes (setup time is a measurement).
-	budget := time.Duration(len(ms))*time.Minute + 30*time.Second
-	for spent := time.Duration(0); !done && spent < budget; spent += time.Second {
-		w.Eng.RunFor(time.Second)
+		return vpc.ErrNoSuchNetwork
 	}
-	if admitErr != nil {
-		return admitErr
+	tenant := n.Tenant
+	if tenant == "" {
+		tenant = n.Name
 	}
-	if !done {
-		return fmt.Errorf("scenario: admission into %s still pending", network)
+	spec := w.VPC().SnapshotTenant(tenant)
+	idx := -1
+	for i := range spec.Networks {
+		if spec.Networks[i].Name == n.Name {
+			idx = i
+		}
 	}
-	return nil
+	if idx < 0 {
+		// Unowned network (created imperatively on the manager): the
+		// apply below adopts it into the tenant. Its existing members
+		// must ride along or the declarative diff would evict them.
+		ns := vpc.NetworkSpec{
+			Name: n.Name, CIDR: n.CIDR.String(), VNI: n.VNI,
+			StaticAddressing: n.Config().StaticAddressing, Lease: n.Config().Lease,
+		}
+		for _, m := range n.Members() {
+			ns.Members = append(ns.Members, m.Host.Name())
+		}
+		spec.Networks = append(spec.Networks, ns)
+		idx = len(spec.Networks) - 1
+	}
+	ns := &spec.Networks[idx]
+	have := make(map[string]bool, len(ns.Members))
+	for _, k := range ns.Members {
+		have[k] = true
+	}
+	for _, m := range w.pick(keys) {
+		if !have[m.Key] {
+			ns.Members = append(ns.Members, m.Key)
+			have[m.Key] = true
+		}
+	}
+	_, err := w.ApplySync(spec)
+	return err
 }
 
 // IPOPUp brings the IPOP baseline up on the listed machines.

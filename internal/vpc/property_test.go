@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"wavnet/internal/ether"
+	"wavnet/internal/netsim"
 	"wavnet/internal/scenario"
 	"wavnet/internal/sim"
 	"wavnet/internal/vpc"
@@ -16,8 +17,10 @@ import (
 // tenants (established before the hosts were admitted, so the scoped
 // control plane could not refuse it), randomized traffic injected into
 // one tenant's segment is never delivered into the other tenant's
-// bridges. Every frame crosses the wire, hits the VNI tag check on the
-// far side, and dies there.
+// bridges. Isolation is enforced twice: the sender's VNI-aware flooding
+// suppresses tagged frames toward tunnels whose far end announced no
+// segment for the tag, and — with suppression disabled — every frame
+// that does cross the wire dies at the receiver's isolation check.
 func TestCrossTenantTrafficNeverDelivered(t *testing.T) {
 	w, err := scenario.Build(11, scenario.EmulatedWANSpecs(2, 100e6), nil)
 	if err != nil {
@@ -75,10 +78,7 @@ func TestCrossTenantTrafficNeverDelivered(t *testing.T) {
 	}
 	const frames = 400
 	injected := 0
-	tick := sim.NewTicker(w.Eng, 50*time.Millisecond, func() {
-		if injected >= frames {
-			return
-		}
+	inject := func() {
 		injected++
 		var dst ether.MAC
 		switch rng.Intn(3) {
@@ -101,6 +101,44 @@ func TestCrossTenantTrafficNeverDelivered(t *testing.T) {
 			Type:    uint16(rng.Intn(1 << 16)),
 			Payload: payload,
 		})
+	}
+
+	// Layer 1 — smarter flooding: with announcements exchanged, the
+	// sender itself suppresses red-tagged frames toward b (which
+	// announced segments {0, 2} only). Nothing even crosses the wire.
+	const warmup = 20
+	tick0 := sim.NewTicker(w.Eng, 50*time.Millisecond, func() {
+		if injected < warmup {
+			inject()
+		}
+	})
+	w.Eng.RunFor(warmup*50*time.Millisecond + 5*time.Second)
+	tick0.Stop()
+	if injected != warmup {
+		t.Fatalf("warmup injected %d/%d", injected, warmup)
+	}
+	if delivered != 0 {
+		t.Fatalf("%d frames delivered during suppression phase", delivered)
+	}
+	if b.CrossVNIDrops != 0 {
+		t.Fatalf("CrossVNIDrops = %d during suppression phase, want 0 (frames should not cross at all)", b.CrossVNIDrops)
+	}
+	if a.SuppressedFloods < warmup {
+		t.Fatalf("SuppressedFloods = %d, want >= %d", a.SuppressedFloods, warmup)
+	}
+	if c := a.VPCCounters(); c.Get("suppress.vni1") < warmup {
+		t.Fatalf("counter suppress.vni1 = %d, want >= %d", c.Get("suppress.vni1"), warmup)
+	}
+
+	// Layer 2 — receiver-side isolation check: disable the sender
+	// optimization so traffic really crosses the wire, and hits the
+	// VNI tag check on the far side.
+	a.SetFloodAll(true)
+	injected = 0
+	tick := sim.NewTicker(w.Eng, 50*time.Millisecond, func() {
+		if injected < frames {
+			inject()
+		}
 	})
 	w.Eng.RunFor(frames*50*time.Millisecond + 10*time.Second)
 	tick.Stop()
@@ -129,5 +167,152 @@ func TestCrossTenantTrafficNeverDelivered(t *testing.T) {
 	w.Eng.RunFor(10 * time.Second)
 	if coDelivered == 0 {
 		t.Fatal("co-tenant frame was not delivered; fabric is dead, property vacuous")
+	}
+}
+
+// TestPeeringPolicyProperty is the peering property: randomized traffic
+// between peered networks is delivered exactly for policy-allowed
+// destination prefixes, and networks without a PeeringSpec remain
+// absolutely isolated even over a pre-established shared tunnel mesh.
+func TestPeeringPolicyProperty(t *testing.T) {
+	w, err := scenario.Build(21, scenario.EmulatedWANSpecs(5, 100e6), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shared fabric first: every host pair holds a tunnel before the
+	// tenant splits, so non-delivery below is policy, not disconnection.
+	if err := w.WAVNetUp(); err != nil {
+		t.Fatal(err)
+	}
+
+	// One tenant, three networks. red<->blue peer with policy: all of
+	// red is reachable from blue, but only 10.20.0.0/31 of blue (its
+	// anchor 10.20.0.1, not the member at 10.20.0.2) is reachable from
+	// red. green has no peering at all.
+	spec := vpc.TenantSpec{
+		Tenant: "acme",
+		Networks: []vpc.NetworkSpec{
+			{Name: "red", CIDR: "10.10.0.0/24", Members: []string{"pc00", "pc01"}, StaticAddressing: true},
+			{Name: "blue", CIDR: "10.20.0.0/24", Members: []string{"pc02", "pc03"}, StaticAddressing: true},
+			{Name: "green", CIDR: "10.30.0.0/24", Members: []string{"pc04"}, StaticAddressing: true},
+		},
+		Peerings: []vpc.PeeringSpec{
+			{A: "red", B: "blue", AllowB: []string{"10.20.0.0/31"}},
+		},
+	}
+	var rep1, rep2 *vpc.ApplyReport
+	var applyErr error
+	w.Eng.Spawn("apply", func(p *sim.Proc) {
+		rep1, applyErr = w.Apply(p, spec)
+		if applyErr != nil {
+			return
+		}
+		rep2, applyErr = w.Apply(p, spec)
+	})
+	w.Eng.RunFor(2 * time.Minute)
+	if applyErr != nil {
+		t.Fatal(applyErr)
+	}
+	if rep1 == nil || rep1.Empty() {
+		t.Fatalf("first apply reported no actions: %v", rep1)
+	}
+	if rep2 == nil || !rep2.Empty() {
+		t.Fatalf("second apply not idempotent: %v", rep2)
+	}
+
+	red, _ := w.VPC().Get("red")
+	blue, _ := w.VPC().Get("blue")
+	green, _ := w.VPC().Get("green")
+	sender := red.Members()[0] // 10.10.0.1
+
+	// Listeners on the green host's non-default bridges: nothing from
+	// outside green may ever be delivered there.
+	greenHost := green.Members()[0].Host
+	greenDelivered := 0
+	greenMAC := green.Members()[0].Stack.MAC()
+	for _, vni := range greenHost.VNIs() {
+		if vni == 0 {
+			continue
+		}
+		br, ok := greenHost.SegmentBridge(vni)
+		if !ok {
+			continue
+		}
+		br.AddPort("leak-listener").SetRecv(func(f *ether.Frame) {
+			if f.Src != greenMAC {
+				greenDelivered++
+			}
+		})
+	}
+
+	// Randomized destinations in blue's CIDR: a ping must succeed
+	// exactly when the address is both policy-allowed and owned.
+	blueIPs := map[netsim.IP]bool{}
+	for _, m := range blue.Members() {
+		blueIPs[m.IP] = true
+	}
+	allowed := func(ip netsim.IP) bool { return ip >= blue.CIDR.Base && ip <= blue.CIDR.Base+1 }
+	rng := rand.New(rand.NewSource(7))
+	targets := []netsim.IP{blue.CIDR.Base + 1, blue.CIDR.Base + 2} // anchor (allowed), member (denied)
+	for i := 0; i < 6; i++ {
+		targets = append(targets, blue.CIDR.Base+netsim.IP(rng.Intn(254)+1))
+	}
+	type outcome struct {
+		ip  netsim.IP
+		err error
+	}
+	var results []outcome
+	var reverseErr, greenErr, greenErr2 error
+	w.Eng.Spawn("probe", func(p *sim.Proc) {
+		for _, ip := range targets {
+			// Two attempts: the first may lose its ARP round to timing.
+			if _, err := sender.Stack.Ping(p, ip, 32, 4*time.Second); err == nil {
+				results = append(results, outcome{ip, nil})
+				continue
+			}
+			_, err := sender.Stack.Ping(p, ip, 32, 4*time.Second)
+			results = append(results, outcome{ip, err})
+		}
+		// Reverse direction: blue's anchor reaches red's member (all of
+		// red is allowed into red from blue).
+		blueAnchor := blue.Members()[0]
+		blueAnchor.Stack.Ping(p, red.Members()[1].IP, 32, 4*time.Second)
+		_, reverseErr = blueAnchor.Stack.Ping(p, red.Members()[1].IP, 32, 4*time.Second)
+		// Unpeered: red -> green must fail both with suppression on...
+		_, greenErr = sender.Stack.Ping(p, green.Members()[0].IP, 32, 4*time.Second)
+		// ...and with the sender flooding everywhere (receiver check).
+		sender.Host.SetFloodAll(true)
+		_, greenErr2 = sender.Stack.Ping(p, green.Members()[0].IP, 32, 4*time.Second)
+	})
+	w.Eng.RunFor(5 * time.Minute)
+
+	if len(results) != len(targets) {
+		t.Fatalf("probed %d/%d targets", len(results), len(targets))
+	}
+	for _, r := range results {
+		want := allowed(r.ip) && blueIPs[r.ip]
+		if want && r.err != nil {
+			t.Errorf("ping %v: err=%v, want delivery (allowed+owned)", r.ip, r.err)
+		}
+		if !want && r.err == nil {
+			t.Errorf("ping %v succeeded, want failure (allowed=%v owned=%v)", r.ip, allowed(r.ip), blueIPs[r.ip])
+		}
+	}
+	if reverseErr != nil {
+		t.Errorf("blue->red ping failed: %v", reverseErr)
+	}
+	if greenErr == nil || greenErr2 == nil {
+		t.Errorf("red->green ping succeeded (%v/%v); unpeered networks must stay isolated", greenErr, greenErr2)
+	}
+	if greenDelivered != 0 {
+		t.Errorf("%d frames delivered into green's segment from outside", greenDelivered)
+	}
+	// Policy refusals must be visible on the receiving gateway.
+	var policyDrops uint64
+	for _, m := range blue.Members() {
+		policyDrops += m.Host.VPCCounters().Get("peer_policy_drops")
+	}
+	if policyDrops == 0 {
+		t.Error("no peer_policy_drops recorded; the denied pings never hit the policy check (vacuous)")
 	}
 }

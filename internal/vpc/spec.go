@@ -1,0 +1,258 @@
+// Tenant API v2: declarative specs. A TenantSpec is pure data — the
+// networks a tenant wants, who is in them, how they peer and what rate
+// they may spend — and the reconciler (reconcile.go) converges live
+// state onto it. Applying the same spec twice is a no-op.
+
+package vpc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"wavnet/internal/ether"
+	"wavnet/internal/netsim"
+	"wavnet/internal/sim"
+)
+
+// TenantSpec is the desired state of one tenant's private cloud.
+type TenantSpec struct {
+	// Tenant names the owner; every network in the spec belongs to it.
+	Tenant string
+	// Networks are the tenant's virtual networks. Networks the tenant
+	// owns that are missing from the spec are torn down.
+	Networks []NetworkSpec
+	// Peerings are policy-controlled routes between pairs of the
+	// tenant's networks. Absent pairs are absolutely isolated.
+	Peerings []PeeringSpec
+	// Quota caps the tenant's send rate per (member host, tunnel);
+	// RateBps 0 means unmetered.
+	Quota QuotaSpec
+}
+
+// NetworkSpec describes one virtual network declaratively.
+type NetworkSpec struct {
+	// Name is the network's unique name.
+	Name string
+	// CIDR is the address space, e.g. "10.0.0.0/24".
+	CIDR string
+	// VNI pins the network identifier; 0 auto-allocates.
+	VNI uint32
+	// Members are the machine keys to admit, in admission order; the
+	// first member anchors the network (gateway + DHCP server). Members
+	// not listed are evicted.
+	Members []string
+	// StaticAddressing skips DHCP: members get sequential addresses at
+	// admission.
+	StaticAddressing bool
+	// Lease is the DHCP lease duration (default 10 minutes).
+	Lease sim.Duration
+}
+
+// PeeringSpec is a policy-carrying route between two of the tenant's
+// networks. Traffic crosses only when the destination address is
+// allowed: frames entering A must match AllowA, frames entering B must
+// match AllowB. An empty list defaults to the whole CIDR of that side.
+type PeeringSpec struct {
+	A, B string
+	// AllowA are destination prefixes within A reachable from B.
+	AllowA []string
+	// AllowB are destination prefixes within B reachable from A.
+	AllowB []string
+}
+
+// QuotaSpec is a per-tenant rate limit, enforced by a token bucket per
+// (member host, tunnel) in the data plane.
+type QuotaSpec struct {
+	// RateBps is the sustained rate in bits per second; 0 = unmetered.
+	RateBps float64
+	// BurstBytes is the bucket depth (default 64 KiB).
+	BurstBytes int
+}
+
+// ParsePrefix parses a policy prefix "a.b.c.d/n" with 1 <= n <= 32
+// (network CIDRs stay restricted to /8../30, but policy may name a
+// single host or half a subnet).
+func ParsePrefix(s string) (ether.Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return ether.Prefix{}, fmt.Errorf("vpc: bad prefix %q (no length)", s)
+	}
+	ip, err := netsim.ParseIP(s[:slash])
+	if err != nil {
+		return ether.Prefix{}, err
+	}
+	bits, err2 := strconv.Atoi(s[slash+1:])
+	if err2 != nil || bits < 1 || bits > 32 {
+		return ether.Prefix{}, fmt.Errorf("vpc: bad prefix length in %q", s)
+	}
+	return ether.Prefix{IP: ip, Bits: bits}, nil
+}
+
+// Action is one state change the reconciler performed.
+type Action struct {
+	// Op identifies the change: create-network, adopt-network,
+	// recreate-network, delete-network, admit, evict, peer, repeer,
+	// unpeer, peer-connect, peer-disconnect, set-quota, clear-quota.
+	Op string
+	// Network is the affected network (or "a<->b" pair for peerings).
+	Network string
+	// Host is the affected machine key, when the change is per-host.
+	Host string
+	// Detail carries human-readable specifics (CIDR, policy, rate).
+	Detail string
+}
+
+// String renders "op network[/host] (detail)".
+func (a Action) String() string {
+	var b strings.Builder
+	b.WriteString(a.Op)
+	if a.Network != "" {
+		b.WriteByte(' ')
+		b.WriteString(a.Network)
+	}
+	if a.Host != "" {
+		b.WriteByte('/')
+		b.WriteString(a.Host)
+	}
+	if a.Detail != "" {
+		fmt.Fprintf(&b, " (%s)", a.Detail)
+	}
+	return b.String()
+}
+
+// ApplyReport lists every action one Apply took, in execution order. An
+// empty report means live state already matched the spec.
+type ApplyReport struct {
+	Tenant  string
+	Actions []Action
+}
+
+// Empty reports whether the apply was a no-op.
+func (r *ApplyReport) Empty() bool { return len(r.Actions) == 0 }
+
+// Ops returns just the action op names, in order (handy for tests and
+// examples).
+func (r *ApplyReport) Ops() []string {
+	out := make([]string, len(r.Actions))
+	for i, a := range r.Actions {
+		out[i] = a.Op
+	}
+	return out
+}
+
+// String renders one action per line.
+func (r *ApplyReport) String() string {
+	if r.Empty() {
+		return fmt.Sprintf("tenant %s: in sync (no actions)", r.Tenant)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "tenant %s: %d action(s)\n", r.Tenant, len(r.Actions))
+	for _, a := range r.Actions {
+		fmt.Fprintf(&b, "  %s\n", a)
+	}
+	return b.String()
+}
+
+func (a Action) record(rep *ApplyReport) { rep.Actions = append(rep.Actions, a) }
+
+// validate checks a spec's internal consistency before any state is
+// touched.
+func (spec *TenantSpec) validate() error {
+	if spec.Tenant == "" {
+		return fmt.Errorf("vpc: tenant needs a name")
+	}
+	names := make(map[string]*NetworkSpec, len(spec.Networks))
+	owner := make(map[string]string) // member -> network
+	for i := range spec.Networks {
+		ns := &spec.Networks[i]
+		if ns.Name == "" {
+			return fmt.Errorf("vpc: tenant %s: network %d needs a name", spec.Tenant, i)
+		}
+		if _, dup := names[ns.Name]; dup {
+			return fmt.Errorf("vpc: tenant %s: duplicate network %q", spec.Tenant, ns.Name)
+		}
+		names[ns.Name] = ns
+		if _, err := ParseCIDR(ns.CIDR); err != nil {
+			return fmt.Errorf("vpc: tenant %s: network %q: %w", spec.Tenant, ns.Name, err)
+		}
+		seen := make(map[string]bool, len(ns.Members))
+		for _, m := range ns.Members {
+			if m == "" {
+				return fmt.Errorf("vpc: tenant %s: network %q lists an empty member", spec.Tenant, ns.Name)
+			}
+			if seen[m] {
+				return fmt.Errorf("vpc: tenant %s: network %q lists %q twice", spec.Tenant, ns.Name, m)
+			}
+			seen[m] = true
+			if other, ok := owner[m]; ok {
+				return fmt.Errorf("vpc: tenant %s: member %q in both %q and %q (hosts join one network)",
+					spec.Tenant, m, other, ns.Name)
+			}
+			owner[m] = ns.Name
+		}
+	}
+	pairs := make(map[[2]string]bool, len(spec.Peerings))
+	for _, pe := range spec.Peerings {
+		if pe.A == pe.B {
+			return fmt.Errorf("vpc: tenant %s: peering %q with itself", spec.Tenant, pe.A)
+		}
+		for _, side := range []string{pe.A, pe.B} {
+			if _, ok := names[side]; !ok {
+				return fmt.Errorf("vpc: tenant %s: peering names unknown network %q", spec.Tenant, side)
+			}
+		}
+		key := pairKey(pe.A, pe.B)
+		if pairs[key] {
+			return fmt.Errorf("vpc: tenant %s: duplicate peering %s<->%s", spec.Tenant, key[0], key[1])
+		}
+		pairs[key] = true
+		for _, ps := range append(append([]string(nil), pe.AllowA...), pe.AllowB...) {
+			if _, err := ParsePrefix(ps); err != nil {
+				return fmt.Errorf("vpc: tenant %s: peering %s<->%s: %w", spec.Tenant, pe.A, pe.B, err)
+			}
+		}
+	}
+	if spec.Quota.RateBps < 0 {
+		return fmt.Errorf("vpc: tenant %s: negative quota rate", spec.Tenant)
+	}
+	return nil
+}
+
+// pairKey normalizes an unordered network pair.
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// peeringEqual compares two peering specs for the same pair, policy
+// included (order of prefixes matters: specs are data, not sets).
+func peeringEqual(x, y PeeringSpec) bool {
+	if pairKey(x.A, x.B) != pairKey(y.A, y.B) {
+		return false
+	}
+	// Normalize orientation before comparing the per-side policies.
+	xa, xb := x.AllowA, x.AllowB
+	if x.A > x.B {
+		xa, xb = xb, xa
+	}
+	ya, yb := y.AllowA, y.AllowB
+	if y.A > y.B {
+		ya, yb = yb, ya
+	}
+	return stringsEqual(xa, ya) && stringsEqual(xb, yb)
+}
+
+func stringsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

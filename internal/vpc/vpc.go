@@ -44,6 +44,8 @@ var (
 	ErrNoSuchNetwork = errors.New("vpc: no such network")
 	ErrNetworkExists = errors.New("vpc: network name already in use")
 	ErrVNIInUse      = errors.New("vpc: VNI already in use")
+	ErrVNIRetired    = errors.New("vpc: VNI belonged to a deleted network and is never reused")
+	ErrPeered        = errors.New("vpc: network still has an applied peering; remove it from the tenant spec first")
 	ErrNotEmpty      = errors.New("vpc: network still has members")
 	ErrAnchorPinned  = errors.New("vpc: cannot evict the anchor while other members remain")
 	ErrNoDefault     = errors.New("vpc: no default network configured")
@@ -115,6 +117,9 @@ type Network struct {
 	VNI     uint32
 	CIDR    CIDR
 	Default bool
+	// Tenant is the owner that declared this network through a
+	// TenantSpec ("" for networks created imperatively).
+	Tenant string
 
 	cfg     NetworkConfig
 	members map[string]*Member
@@ -162,12 +167,24 @@ func (n *Network) GatewayIP() netsim.IP { return n.CIDR.Base + 1 }
 // admission or under static addressing).
 func (n *Network) DHCPServer() *dhcp.Server { return n.dhcpSrv }
 
+// Config returns the configuration the network was created with.
+func (n *Network) Config() NetworkConfig { return n.cfg }
+
 // Manager is the multi-tenant control plane.
 type Manager struct {
 	networks map[string]*Network
 	byVNI    map[uint32]*Network
 	def      *Network
 	nextVNI  uint32
+	// retired holds VNIs of deleted networks: stale data-plane segments
+	// for them may linger on hosts, so they are never handed out again
+	// — not by auto-allocation, and not by explicit pinning.
+	retired map[uint32]bool
+
+	// tenants carries the reconciler's per-tenant policy state
+	// (applied peerings and quota); network ownership itself lives on
+	// Network.Tenant.
+	tenants map[string]*tenantState
 }
 
 // NewManager returns an empty control plane.
@@ -176,6 +193,8 @@ func NewManager() *Manager {
 		networks: make(map[string]*Network),
 		byVNI:    make(map[uint32]*Network),
 		nextVNI:  1,
+		retired:  make(map[uint32]bool),
+		tenants:  make(map[string]*tenantState),
 	}
 }
 
@@ -200,6 +219,8 @@ func (mg *Manager) Create(name, cidr string, cfg NetworkConfig) (*Network, error
 		mg.nextVNI++
 	} else if mg.byVNI[vni] != nil {
 		return nil, ErrVNIInUse
+	} else if mg.retired[vni] {
+		return nil, ErrVNIRetired
 	} else if vni >= mg.nextVNI {
 		// Never auto-allocate a VNI that was ever pinned: stale
 		// data-plane segments for a deleted network must not start
@@ -226,7 +247,13 @@ func (mg *Manager) Create(name, cidr string, cfg NetworkConfig) (*Network, error
 	return n, nil
 }
 
-// Delete removes an empty network. Its VNI is never reused.
+// Delete removes an empty network. Its VNI is never reused. A network
+// that still has an applied peering is refused: the manager alone
+// cannot revoke the broker allowance or the peer side's gateway rules,
+// and network names are reusable — a dangling allowance would link a
+// future stranger's network to this tenant. Drop the peering from the
+// tenant spec (and Apply) first; the reconciler's own teardown path
+// always unpeers before deleting.
 func (mg *Manager) Delete(name string) error {
 	n, ok := mg.networks[name]
 	if !ok {
@@ -235,8 +262,16 @@ func (mg *Manager) Delete(name string) error {
 	if len(n.members) > 0 {
 		return ErrNotEmpty
 	}
+	if ts, ok := mg.tenants[n.Tenant]; ok {
+		for pair := range ts.peerings {
+			if pair[0] == name || pair[1] == name {
+				return ErrPeered
+			}
+		}
+	}
 	delete(mg.networks, name)
 	delete(mg.byVNI, n.VNI)
+	mg.retired[n.VNI] = true
 	if mg.def == n {
 		mg.def = nil
 	}
@@ -426,6 +461,9 @@ func (mg *Manager) Evict(p *sim.Proc, h *core.Host, network string) error {
 		n.dhcpSrv = nil
 	}
 	h.LeaveVNI(n.VNI)
+	// Per-tenant data-plane policy must not outlive the membership.
+	h.ClearVNIQuota(n.VNI)
+	h.DropPeeringsOf(n.VNI)
 	delete(n.members, h.Name())
 	for i, name := range n.order {
 		if name == h.Name() {

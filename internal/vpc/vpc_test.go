@@ -81,6 +81,11 @@ func TestManagerCRUD(t *testing.T) {
 	if _, ok := mg.Get("red"); ok {
 		t.Fatal("deleted network still resolvable")
 	}
+	// A deleted network's VNI may not come back even by explicit
+	// pinning: stale segments for it could still pass the tag check.
+	if _, err := mg.Create("necro", "10.4.0.0/24", vpc.NetworkConfig{VNI: red.VNI}); err != vpc.ErrVNIRetired {
+		t.Fatalf("pinned retired VNI: %v", err)
+	}
 	if _, err := mg.Create("green", "10.2.0.0/24", vpc.NetworkConfig{}); err != nil {
 		t.Fatal(err)
 	}

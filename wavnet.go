@@ -210,6 +210,27 @@ type (
 	CIDR = vpc.CIDR
 )
 
+// Tenant API v2: declarative specs reconciled by World.Apply. Declare
+// what a tenant's private cloud should look like — networks, members,
+// peerings, quota — and Apply converges live state onto it, returning
+// the actions taken. Applying an unchanged spec again is a no-op.
+type (
+	// TenantSpec is the desired state of one tenant's private cloud.
+	TenantSpec = vpc.TenantSpec
+	// NetworkSpec declares one virtual network (name, CIDR, pinned VNI,
+	// member machine keys, addressing mode).
+	NetworkSpec = vpc.NetworkSpec
+	// PeeringSpec is a policy-carrying route between two of the
+	// tenant's networks (allowed destination prefixes per side).
+	PeeringSpec = vpc.PeeringSpec
+	// QuotaSpec caps a tenant's send rate per (member host, tunnel).
+	QuotaSpec = vpc.QuotaSpec
+	// ApplyReport lists every action one World.Apply took.
+	ApplyReport = vpc.ApplyReport
+	// ApplyAction is one state change in an ApplyReport.
+	ApplyAction = vpc.Action
+)
+
 // NewVPCManager creates a standalone multi-tenant control plane (for
 // custom setups outside a World).
 func NewVPCManager() *VPCManager { return vpc.NewManager() }

@@ -68,14 +68,17 @@ func TestFacadeGrouping(t *testing.T) {
 }
 
 func TestFacadeExperimentRegistry(t *testing.T) {
-	if len(Experiments()) != 15 {
-		t.Fatalf("expected 15 experiments, got %d", len(Experiments()))
+	if len(Experiments()) != 16 {
+		t.Fatalf("expected 16 experiments, got %d", len(Experiments()))
 	}
 	if _, ok := Experiment("figure13"); !ok {
 		t.Fatal("figure13 missing")
 	}
 	if _, ok := Experiment("vpc"); !ok {
 		t.Fatal("vpc missing")
+	}
+	if _, ok := Experiment("peering"); !ok {
+		t.Fatal("peering missing")
 	}
 	// Run the cheapest real experiment end to end through the facade.
 	r, _ := Experiment("figure13")
