@@ -217,11 +217,11 @@ func (h *Host) establish(t *Tunnel) {
 	h.tunnelSend(t, h.vniSetPacket())
 	t.announcedGen = h.vniGen
 	t.sinceAnnounce = 0
-	// Wake connect waiters.
+	// Wake connect waiters (in registration order, deterministically).
 	if ws := h.connWaiters[t.Peer]; len(ws) > 0 {
 		delete(h.connWaiters, t.Peer)
 		for _, w := range ws {
-			w()
+			w.fn()
 		}
 	}
 }

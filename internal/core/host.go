@@ -110,6 +110,12 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// connWaiter is one pending tunnel-establishment callback.
+type connWaiter struct {
+	id uint64
+	fn func()
+}
+
 // Tunnel is one host-to-host connection: usually a direct punched path,
 // or — for NAT pairs hole punching cannot traverse — a channel relayed
 // through the rendezvous server.
@@ -215,8 +221,10 @@ type Host struct {
 	nextID   uint64
 	waiters  map[uint64]func(*rendezvous.Msg)
 	stunWait func(*stun.Message)
-	// connWaiters fire when a tunnel to the named peer establishes.
-	connWaiters map[string][]func()
+	// connWaiters fire when a tunnel to the named peer establishes;
+	// entries carry an ID so a ConnectTo that gives up can remove
+	// exactly its own waiter.
+	connWaiters map[string][]connWaiter
 	echoWaiters map[uint64]func(sim.Duration)
 	nextEcho    uint64
 
@@ -261,7 +269,7 @@ func NewHost(phys *netsim.Host, name string, cfg Config) (*Host, error) {
 		byAddr:        make(map[netsim.Addr]*Tunnel),
 		byChan:        make(map[uint64]*Tunnel),
 		waiters:       make(map[uint64]func(*rendezvous.Msg)),
-		connWaiters:   make(map[string][]func()),
+		connWaiters:   make(map[string][]connWaiter),
 		echoWaiters:   make(map[uint64]func(sim.Duration)),
 		peering:       ether.NewPeeringTable(),
 		vniTenant:     make(map[uint32]string),
@@ -353,6 +361,12 @@ func (h *Host) Network() (string, uint32) { return h.network, h.vni }
 
 // Joined reports whether the host currently holds a rendezvous session.
 func (h *Host) Joined() bool { return h.joined }
+
+// RendezvousAddr reports the home broker this host registered with. A
+// host homes on exactly one broker of a federation — its record is
+// replicated to the other brokers its network names, and connects to
+// hosts homed elsewhere are forwarded broker-to-broker.
+func (h *Host) RendezvousAddr() netsim.Addr { return h.rdv }
 
 // NATClass reports the STUN classification from Join.
 func (h *Host) NATClass() stun.NATClass { return h.natClass }
@@ -715,18 +729,24 @@ func (h *Host) ConnectTo(p *sim.Proc, peer string) (*Tunnel, error) {
 	}
 	// Wait for establishment triggered by the punch exchange. The
 	// connect request is retried a few times: the rendezvous message or
-	// punch-order can be lost under connection storms.
+	// punch-order can be lost under connection storms. Whatever the
+	// outcome, this call's waiter never outlives it.
 	done := false
 	var rpcErr error
-	h.connWaiters[peer] = append(h.connWaiters[peer], func() {
+	h.nextID++
+	waiterID := h.nextID
+	h.connWaiters[peer] = append(h.connWaiters[peer], connWaiter{waiterID, func() {
 		done = true
 		p.Unpark()
-	})
+	}})
+	defer h.dropConnWaiter(peer, waiterID)
 	attemptWindow := h.cfg.RPCTimeout/2 + sim.Duration(h.cfg.PunchTries)*h.cfg.PunchInterval
 	for attempt := 0; attempt < 3 && !done; attempt++ {
+		transient := false
 		id := h.newWaiter(func(r *rendezvous.Msg) {
 			if r.Error != "" {
 				rpcErr = fmt.Errorf("core: connect: %s", r.Error)
+				transient = r.Code == rendezvous.CodeNotFound
 				done = true
 				p.Unpark()
 			}
@@ -747,19 +767,41 @@ func (h *Host) ConnectTo(p *sim.Proc, peer string) (*Tunnel, error) {
 		deadline.Stop()
 		delete(h.waiters, id)
 		if rpcErr != nil {
+			// A not-found is transient in a federation: the peer may be
+			// homed on another broker whose (possibly batched) record
+			// replication has not reached ours yet. Back off and retry;
+			// policy refusals and other errors stay immediate.
+			if attempt < 2 && transient {
+				rpcErr = nil
+				done = false
+				p.Sleep(sim.Duration(attempt+1) * 2 * sim.Second)
+				continue
+			}
 			return nil, rpcErr
 		}
-	}
-	if !done {
-		// Remove our stale waiter so a later punch does not unpark a
-		// dead process.
-		h.connWaiters[peer] = nil
 	}
 	t, ok := h.tunnels[peer]
 	if !ok || !t.established {
 		return nil, ErrPunchFailed
 	}
 	return t, nil
+}
+
+// dropConnWaiter removes one pending establishment callback (no-op when
+// establishment already consumed the whole list).
+func (h *Host) dropConnWaiter(peer string, id uint64) {
+	ws := h.connWaiters[peer]
+	for i, w := range ws {
+		if w.id == id {
+			ws = append(ws[:i], ws[i+1:]...)
+			break
+		}
+	}
+	if len(ws) == 0 {
+		delete(h.connWaiters, peer)
+		return
+	}
+	h.connWaiters[peer] = ws
 }
 
 // Disconnect tears down the tunnel to a peer.

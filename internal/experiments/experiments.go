@@ -71,6 +71,7 @@ func All() []Runner {
 		{"figure14", "Figure 14: locality-sensitive vs random selection (NAS EP/FT)", func(o Options) (fmt.Stringer, error) { return Figure14(o) }},
 		{"vpc", "VPC isolation & scale: overlapping tenants over one shared fabric (beyond the paper)", func(o Options) (fmt.Stringer, error) { return VPCScale(o) }},
 		{"peering", "VPC peering & quotas: policy-allowed routes and tenant rate limits (beyond the paper)", func(o Options) (fmt.Stringer, error) { return PeeringQuota(o) }},
+		{"federation", "Federated rendezvous: cross-broker lookup/connect vs broker count and replication lag (beyond the paper)", func(o Options) (fmt.Stringer, error) { return Federation(o) }},
 	}
 }
 

@@ -1,0 +1,61 @@
+package experiments
+
+import "testing"
+
+// TestFederationSmallScale runs the federation experiment's smallest
+// cross-broker point and checks the acceptance properties: cross-broker
+// connects succeed at least as often as same-broker ones, lookups all
+// resolve, and the unnamed witness broker holds zero tenant records.
+func TestFederationSmallScale(t *testing.T) {
+	row, err := FederationOnce(quick(), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Stray != 0 {
+		t.Fatalf("witness broker holds %d tenant records, want 0", row.Stray)
+	}
+	if row.LookupN == 0 || row.LookupOK != row.LookupN {
+		t.Fatalf("lookups %d/%d", row.LookupOK, row.LookupN)
+	}
+	if row.SameN == 0 || row.CrossN == 0 {
+		t.Fatalf("sweep degenerate: same %d, cross %d pairs", row.SameN, row.CrossN)
+	}
+	sameRate := float64(row.SameOK) / float64(row.SameN)
+	crossRate := float64(row.CrossOK) / float64(row.CrossN)
+	if crossRate < sameRate {
+		t.Fatalf("cross-broker connect success %.2f below same-broker %.2f", crossRate, sameRate)
+	}
+	if row.CrossOK != row.CrossN {
+		t.Fatalf("cross-broker connects failed: %d/%d", row.CrossOK, row.CrossN)
+	}
+	if row.Forwards == 0 {
+		t.Fatal("no forwarded connects counted; the cross pairs never crossed brokers")
+	}
+	if row.Replications == 0 {
+		t.Fatal("no replications counted")
+	}
+	// Immediate replication: the replica lands within a broker-broker
+	// round trip, far under a second.
+	if row.Visibility < 0 || row.Visibility > 1e9 {
+		t.Fatalf("visibility = %v, want ~0 for immediate replication", row.Visibility)
+	}
+}
+
+// TestFederationLagVisible: batching replication must show up as a
+// larger cross-broker visibility window.
+func TestFederationLagVisible(t *testing.T) {
+	fast, err := FederationOnce(quick(), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := FederationOnce(quick(), 2, 5e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Visibility <= fast.Visibility {
+		t.Fatalf("lagged visibility %v not above immediate %v", slow.Visibility, fast.Visibility)
+	}
+	if slow.Stray != 0 {
+		t.Fatalf("stray records under lag: %d", slow.Stray)
+	}
+}

@@ -48,6 +48,18 @@ func (c *CounterSet) Has(name string) bool {
 // Names returns the counter names in insertion order.
 func (c *CounterSet) Names() []string { return append([]string(nil), c.names...) }
 
+// Delta returns a new set holding, for every counter of c, its value
+// minus prev's (0 when prev never saw the name). Experiments snapshot a
+// CounterSet before a measured phase and Delta it afterwards to report
+// only the phase's activity.
+func (c *CounterSet) Delta(prev *CounterSet) *CounterSet {
+	out := NewCounterSet()
+	for _, name := range c.names {
+		out.Set(name, c.vals[name]-prev.Get(name))
+	}
+	return out
+}
+
 // Merge adds every counter of other into c (summing shared names).
 func (c *CounterSet) Merge(other *CounterSet) {
 	for _, name := range other.names {

@@ -1,0 +1,54 @@
+package metrics
+
+import "testing"
+
+func TestCounterSetBasics(t *testing.T) {
+	c := NewCounterSet()
+	c.Set("a", 3)
+	c.Add("b", 2)
+	c.Add("a", 1)
+	if c.Get("a") != 4 || c.Get("b") != 2 || c.Get("absent") != 0 {
+		t.Fatalf("values: %s", c)
+	}
+	if !c.Has("a") || c.Has("absent") {
+		t.Fatal("Has")
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("insertion order lost: %v", names)
+	}
+	if c.String() != "a=4 b=2" {
+		t.Fatalf("render %q", c)
+	}
+}
+
+func TestCounterSetMerge(t *testing.T) {
+	a := NewCounterSet()
+	a.Set("x", 1)
+	b := NewCounterSet()
+	b.Set("x", 2)
+	b.Set("y", 5)
+	a.Merge(b)
+	if a.Get("x") != 3 || a.Get("y") != 5 {
+		t.Fatalf("merge: %s", a)
+	}
+}
+
+func TestCounterSetDelta(t *testing.T) {
+	before := NewCounterSet()
+	before.Set("lookups", 10)
+	after := NewCounterSet()
+	after.Set("lookups", 25)
+	after.Set("connects", 4)
+	d := after.Delta(before)
+	if d.Get("lookups") != 15 || d.Get("connects") != 4 {
+		t.Fatalf("delta: %s", d)
+	}
+	// Delta keeps after's name order and never mutates its inputs.
+	if names := d.Names(); len(names) != 2 || names[0] != "lookups" {
+		t.Fatalf("delta names: %v", names)
+	}
+	if before.Get("lookups") != 10 || after.Get("lookups") != 25 {
+		t.Fatal("inputs mutated")
+	}
+}

@@ -1,0 +1,351 @@
+package rendezvous
+
+import (
+	"sort"
+
+	"wavnet/internal/metrics"
+	"wavnet/internal/netsim"
+	"wavnet/internal/sim"
+)
+
+// Federated rendezvous: brokers peer with each other and replicate host
+// records *scoped by network*. A record for tenant network N is copied
+// only to the brokers N's tenant spec names (the reconciled replication
+// set), so a broker never learns about tenants it does not serve — the
+// PIP/VNP-style partition of virtual-network state across mutually
+// distrusting providers. Cross-broker lookups answer from the local
+// replica store (no extra hop); cross-broker connects forward the punch
+// orchestration to the target's home broker, which holds the only live
+// NAT session to the target; peering allowances propagate so inter-VNI
+// gateway connects keep working across the federation.
+
+// replica is one host record received from a federated peer. rec.Server
+// names the home broker the punch orchestration must be forwarded to.
+type replica struct {
+	rec      HostRecord
+	lastSeen sim.Time
+}
+
+// Federate registers a trusted peer broker. Broker-to-broker messages
+// (replication, withdrawal, forwarded connects, peering propagation)
+// from addresses that were never federated are rejected and counted.
+func (s *Server) Federate(peer netsim.Addr) { s.federated[peer] = true }
+
+// Federated reports whether the address is a trusted peer broker.
+func (s *Server) Federated(peer netsim.Addr) bool { return s.federated[peer] }
+
+// SetNetBrokers installs the replication set of one virtual network:
+// the federated brokers (excluding this one) that must hold replicas of
+// the network's records. Installing a set also marks the network as
+// served here, which is what admits inbound replicas for it. Records of
+// current sessions are replicated to newly added peers immediately and
+// withdrawn from removed ones, so reconfiguration converges without
+// waiting for the refresh ticker.
+func (s *Server) SetNetBrokers(net string, peers []netsim.Addr) {
+	old := s.netBrokers[net]
+	s.netBrokers[net] = append([]netsim.Addr(nil), peers...)
+	oldSet := make(map[netsim.Addr]bool, len(old))
+	for _, a := range old {
+		oldSet[a] = true
+	}
+	newSet := make(map[netsim.Addr]bool, len(peers))
+	for _, a := range peers {
+		newSet[a] = true
+	}
+	for _, ses := range s.sessions {
+		if ses.rec.Net != net {
+			continue
+		}
+		for _, a := range peers {
+			if !oldSet[a] {
+				s.sendReplicate(a, ses.rec)
+			}
+		}
+		for _, a := range old {
+			if !newSet[a] {
+				s.sendWithdraw(a, ses.rec)
+			}
+		}
+	}
+}
+
+// ClearNetBrokers removes a network from this broker's serve set:
+// replicas held for it are dropped, sessions homed here are withdrawn
+// from the old peers, and future replicas for it are rejected.
+func (s *Server) ClearNetBrokers(net string) {
+	s.SetNetBrokers(net, nil)
+	delete(s.netBrokers, net)
+	for name, rep := range s.replicas {
+		if rep.rec.Net == net {
+			delete(s.replicas, name)
+		}
+	}
+}
+
+// ServesNet reports whether the network was configured on this broker
+// (a replication set was installed, possibly empty).
+func (s *Server) ServesNet(net string) bool {
+	_, ok := s.netBrokers[net]
+	return ok
+}
+
+// replicate copies a session record to the network's replication set —
+// immediately, or batched onto the flush ticker when the server is
+// configured with a replication interval.
+func (s *Server) replicate(rec HostRecord) {
+	if len(s.netBrokers[rec.Net]) == 0 {
+		return
+	}
+	if s.cfg.ReplicateInterval > 0 {
+		s.dirty[rec.Name] = true
+		return
+	}
+	for _, peer := range s.netBrokers[rec.Net] {
+		s.sendReplicate(peer, rec)
+	}
+}
+
+// flushReplication sends every batched record (the replication-lag knob
+// of the federation experiment).
+func (s *Server) flushReplication() {
+	for name := range s.dirty {
+		delete(s.dirty, name)
+		ses, ok := s.sessions[name]
+		if !ok {
+			continue
+		}
+		for _, peer := range s.netBrokers[ses.rec.Net] {
+			s.sendReplicate(peer, ses.rec)
+		}
+	}
+}
+
+func (s *Server) sendReplicate(peer netsim.Addr, rec HostRecord) {
+	s.ReplicationsOut++
+	s.sock.SendTo(peer, Encode(&Msg{Kind: kindReplicate, Rec: &rec}))
+}
+
+// withdraw retracts a record from the network's replication set
+// (session expiry, rescope to another network, teardown). Withdrawals
+// are never batched: a stale replica is a correctness hazard, a late
+// replica only a slower connect.
+func (s *Server) withdraw(rec HostRecord) {
+	delete(s.dirty, rec.Name)
+	for _, peer := range s.netBrokers[rec.Net] {
+		s.sendWithdraw(peer, rec)
+	}
+}
+
+func (s *Server) sendWithdraw(peer netsim.Addr, rec HostRecord) {
+	s.WithdrawalsOut++
+	s.sock.SendTo(peer, Encode(&Msg{Kind: kindWithdraw, Name: rec.Name, Net: rec.Net}))
+}
+
+// brokerOfNet reports whether src is one of the brokers this server
+// was configured to share the network with — the per-message trust
+// check behind "mutually distrusting providers": being federated at
+// all is not enough, the sender must be in the network's own set.
+func (s *Server) brokerOfNet(net string, src netsim.Addr) bool {
+	for _, peer := range s.netBrokers[net] {
+		if peer == src {
+			return true
+		}
+	}
+	return false
+}
+
+// onReplicate stores a record received from a federated peer. The scope
+// check is the trust boundary: replicas are accepted only for networks
+// this broker was explicitly configured to serve, and only from the
+// brokers of that network's own replication set.
+func (s *Server) onReplicate(src netsim.Addr, m *Msg) {
+	if m.Rec == nil || m.Rec.Name == "" || !s.federated[src] ||
+		!s.ServesNet(m.Rec.Net) || !s.brokerOfNet(m.Rec.Net, src) {
+		s.RejectedFederation++
+		return
+	}
+	// A broker trusted for one network must not overwrite another
+	// network's replica of the same name: the old network's home broker
+	// withdraws (or lets expire) its record first; until then the
+	// existing replica stands.
+	if rep, ok := s.replicas[m.Rec.Name]; ok && rep.rec.Net != m.Rec.Net {
+		s.RejectedFederation++
+		return
+	}
+	s.ReplicationsIn++
+	s.replicas[m.Rec.Name] = &replica{rec: *m.Rec, lastSeen: s.eng.Now()}
+}
+
+// onWithdraw drops a replica at its home broker's request.
+func (s *Server) onWithdraw(src netsim.Addr, m *Msg) {
+	rep, ok := s.replicas[m.Name]
+	if !ok || rep.rec.Net != m.Net {
+		return
+	}
+	if !s.federated[src] || !s.brokerOfNet(m.Net, src) {
+		s.RejectedFederation++
+		return
+	}
+	s.WithdrawalsIn++
+	delete(s.replicas, m.Name)
+}
+
+// expireReplicas drops replicas that stopped being refreshed — the
+// home broker re-replicates live sessions at half the TTL, so a replica
+// older than a full TTL belongs to a dead host or a dead broker.
+func (s *Server) expireReplicas(cutoff sim.Time) {
+	for name, rep := range s.replicas {
+		if rep.lastSeen < cutoff {
+			delete(s.replicas, name)
+			s.ReplicaExpiries++
+		}
+	}
+}
+
+// onFwdConnect serves a forwarded connect at the target's home broker:
+// a federated peer holds the requester's session, we hold the target's.
+// Validation and punch/relay orchestration are shared with the CAN
+// introduction path. The forwarding broker must be in the replication
+// set of the requester's network or the target's — any other federated
+// broker has no business brokering between these tenants.
+func (s *Server) onFwdConnect(src netsim.Addr, m *Msg) {
+	reqNet := ""
+	if m.Rec != nil {
+		reqNet = m.Rec.Net
+	}
+	targetNet := ""
+	if ses, ok := s.sessions[m.Name]; ok {
+		targetNet = ses.rec.Net
+	}
+	if !s.federated[src] || !(s.brokerOfNet(reqNet, src) || s.brokerOfNet(targetNet, src)) {
+		s.RejectedFederation++
+		return
+	}
+	s.FwdConnectsIn++
+	s.introduceLocal(src, m, kindFwdConnectAck)
+}
+
+// propagatePeering pushes a peering allowance (or revocation) to every
+// federated broker serving either network.
+func (s *Server) propagatePeering(kind, netA, netB string) {
+	sent := make(map[netsim.Addr]bool)
+	for _, net := range []string{netA, netB} {
+		for _, peer := range s.netBrokers[net] {
+			if sent[peer] {
+				continue
+			}
+			sent[peer] = true
+			if kind == kindPeerAllow {
+				s.PeerAllowsOut++
+			} else {
+				s.PeerRevokesOut++
+			}
+			s.sock.SendTo(peer, Encode(&Msg{Kind: kind, Nets: []string{netA, netB}}))
+		}
+	}
+}
+
+// onPeerPropagation applies a propagated allowance. It deliberately does
+// not re-propagate: the origin broker fans out to every serving peer
+// itself, which keeps the exchange loop-free. The sender must be in a
+// replication set of one of the two networks.
+func (s *Server) onPeerPropagation(src netsim.Addr, m *Msg) {
+	if !s.federated[src] || len(m.Nets) != 2 ||
+		!(s.brokerOfNet(m.Nets[0], src) || s.brokerOfNet(m.Nets[1], src)) {
+		s.RejectedFederation++
+		return
+	}
+	key := peerKey(m.Nets[0], m.Nets[1])
+	if m.Kind == kindPeerAllow {
+		s.PeerAllowsIn++
+		s.peered[key] = true
+	} else {
+		s.PeerRevokesIn++
+		delete(s.peered, key)
+	}
+}
+
+// PeeringAllowed reports whether brokered connects between the two
+// networks are currently permitted here.
+func (s *Server) PeeringAllowed(netA, netB string) bool { return s.netsLinked(netA, netB) }
+
+// HasSession reports whether the named host is homed on this broker.
+func (s *Server) HasSession(name string) bool {
+	_, ok := s.sessions[name]
+	return ok
+}
+
+// HasReplica reports whether this broker holds a federated replica of
+// the named host.
+func (s *Server) HasReplica(name string) bool {
+	_, ok := s.replicas[name]
+	return ok
+}
+
+// ReplicaCount reports the number of replicas held (after expiry).
+func (s *Server) ReplicaCount() int {
+	s.expire()
+	return len(s.replicas)
+}
+
+// RecordsFor counts every record of one virtual network this broker
+// holds, homed sessions and replicas alike. The federation's scope
+// invariant is RecordsFor(n) == 0 on any broker n's tenant spec does
+// not name.
+func (s *Server) RecordsFor(net string) int {
+	s.expire()
+	count := 0
+	for _, ses := range s.sessions {
+		if ses.rec.Net == net {
+			count++
+		}
+	}
+	for _, rep := range s.replicas {
+		if rep.rec.Net == net {
+			count++
+		}
+	}
+	return count
+}
+
+// Counters exports the broker's control-plane counters as a uniform
+// metrics.CounterSet (like core.Host.VPCCounters for the data plane):
+// session traffic, relay usage, and the federation's replication,
+// forwarding and expiry activity.
+func (s *Server) Counters() *metrics.CounterSet {
+	c := metrics.NewCounterSet()
+	c.Set("joins", s.Joins)
+	c.Set("pulses", s.Pulses)
+	c.Set("lookups", s.Lookups)
+	c.Set("connects", s.Connects)
+	c.Set("relayed_introductions", s.RelayedIntroductions)
+	c.Set("relay_channels", s.RelayChannels)
+	c.Set("relay_frames", s.RelayFrames)
+	c.Set("replications_out", s.ReplicationsOut)
+	c.Set("replications_in", s.ReplicationsIn)
+	c.Set("withdrawals_out", s.WithdrawalsOut)
+	c.Set("withdrawals_in", s.WithdrawalsIn)
+	c.Set("fwd_connects_out", s.FwdConnectsOut)
+	c.Set("fwd_connects_in", s.FwdConnectsIn)
+	c.Set("peer_allows_out", s.PeerAllowsOut)
+	c.Set("peer_allows_in", s.PeerAllowsIn)
+	c.Set("peer_revokes_out", s.PeerRevokesOut)
+	c.Set("peer_revokes_in", s.PeerRevokesIn)
+	c.Set("session_expiries", s.SessionExpiries)
+	c.Set("replica_expiries", s.ReplicaExpiries)
+	c.Set("rejected_federation", s.RejectedFederation)
+	return c
+}
+
+// FederatedPeers lists the trusted peer brokers, sorted for stable
+// iteration in tests and diagnostics.
+func (s *Server) FederatedPeers() []netsim.Addr {
+	out := make([]netsim.Addr, 0, len(s.federated))
+	for a := range s.federated {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].IP < out[j].IP || (out[i].IP == out[j].IP && out[i].Port < out[j].Port)
+	})
+	return out
+}

@@ -14,11 +14,12 @@ func TestPropertyMsgRoundTrips(t *testing.T) {
 	f := func(kind string, id uint64, name, errStr string, k int,
 		relayChan uint64, relayIP uint32, relayPort uint16,
 		recName string, mappedIP uint32, mappedPort uint16, natRaw uint8,
-		ax, ay float64) bool {
+		ax, ay float64, netA, netB string) bool {
 		m := &Msg{
 			Kind: kind, ID: id, Name: name, Error: errStr, K: k,
 			RelayChan: relayChan,
 			RelayAddr: netsim.Addr{IP: netsim.IP(relayIP), Port: relayPort},
+			Nets:      []string{netA, netB},
 			Rec: &HostRecord{
 				Name:   recName,
 				Mapped: netsim.Addr{IP: netsim.IP(mappedIP), Port: mappedPort},
@@ -33,6 +34,7 @@ func TestPropertyMsgRoundTrips(t *testing.T) {
 		return got.Kind == m.Kind && got.ID == m.ID && got.Name == m.Name &&
 			got.Error == m.Error && got.K == m.K &&
 			got.RelayChan == m.RelayChan && got.RelayAddr == m.RelayAddr &&
+			len(got.Nets) == 2 && got.Nets[0] == netA && got.Nets[1] == netB &&
 			got.Rec != nil && got.Rec.Name == m.Rec.Name &&
 			got.Rec.Mapped == m.Rec.Mapped && got.Rec.NAT == m.Rec.NAT &&
 			len(got.Rec.Attrs) == 2 &&

@@ -23,6 +23,11 @@ import (
 // DefaultPort is the well-known broker port.
 const DefaultPort = 4342
 
+// CodeNotFound marks an error reply whose cause may be transient in a
+// federation — the name may exist on a broker whose record replication
+// has not converged here yet — so clients may back off and retry.
+const CodeNotFound = "not-found"
+
 // HostRecord is what the rendezvous layer knows about a registered host.
 type HostRecord struct {
 	Name   string      `json:"name"`
@@ -57,22 +62,40 @@ const (
 	kindGroupReply  = "group-reply" //
 	kindRTTReport   = "rtt-report"  // host -> broker: measured RTTs to peers
 	kindRelayOrder  = "relay-order" // broker -> host: unpunchable pair, tunnel via relay
+
+	// Federation (broker <-> broker, see federation.go). Replication is
+	// scoped: a record for network N travels only to brokers N's tenant
+	// spec names, so a broker never learns about tenants it doesn't serve.
+	kindReplicate     = "replicate"       // home broker -> federated broker: scoped record copy
+	kindWithdraw      = "withdraw"        // home broker -> federated broker: record expired/rescoped
+	kindFwdConnect    = "fwd-connect"     // requester's broker -> target's home broker: broker the punch
+	kindFwdConnectAck = "fwd-connect-ack" // target's home broker -> requester's broker
+	kindPeerAllow     = "peer-allow"      // broker -> federated broker: peering allowance propagation
+	kindPeerRevoke    = "peer-revoke"     //
 )
 
 // Msg is the JSON envelope for all rendezvous traffic (it always starts
 // with '{', which keeps it distinguishable from the binary Packet
 // Assembler types on a shared socket).
 type Msg struct {
-	Kind  string      `json:"kind"`
-	ID    uint64      `json:"id,omitempty"`
-	Name  string      `json:"name,omitempty"`
-	Error string      `json:"error,omitempty"`
-	Rec   *HostRecord `json:"rec,omitempty"`
-	Peer  *HostRecord `json:"peer,omitempty"`
+	Kind  string `json:"kind"`
+	ID    uint64 `json:"id,omitempty"`
+	Name  string `json:"name,omitempty"`
+	Error string `json:"error,omitempty"`
+	// Code machine-classifies an error ("not-found" marks the transient
+	// ones a federated fabric may retry: the target may exist on another
+	// broker whose replication has not converged yet).
+	Code string      `json:"code,omitempty"`
+	Rec  *HostRecord `json:"rec,omitempty"`
+	Peer *HostRecord `json:"peer,omitempty"`
 
 	// Net scopes lookups and group queries to the requester's virtual
 	// network ("" = the default network).
 	Net string `json:"net,omitempty"`
+
+	// Nets carries the two virtual networks of a propagated peering
+	// allowance (peer-allow / peer-revoke).
+	Nets []string `json:"nets,omitempty"`
 
 	// Lookup / grouping.
 	Attrs   can.Point        `json:"attrs,omitempty"`
@@ -117,6 +140,13 @@ type Config struct {
 	DisableRelay bool
 	// RelayIdle expires relay channels with no traffic (default 120 s).
 	RelayIdle sim.Duration
+
+	// ReplicateInterval batches federated record replication: joins mark
+	// the record dirty and a ticker flushes the batch every interval.
+	// Zero replicates immediately on join (no added lag). Withdrawals are
+	// always immediate. The federation experiment sweeps this to measure
+	// how replication lag delays cross-broker visibility.
+	ReplicateInterval sim.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -146,6 +176,16 @@ type session struct {
 	lastSeen sim.Time
 }
 
+// pendingIntro is one in-flight cross-broker introduction. Entries are
+// swept after a session TTL: a remote broker that died mid-introduction
+// must not leak them forever (the requesting host gave up long before).
+type pendingIntro struct {
+	host    netsim.Addr // requesting host
+	hostID  uint64      // the host's connect request ID
+	remote  netsim.Addr // the broker the intro was forwarded to; only it may resolve
+	created sim.Time
+}
+
 // Server is one rendezvous server.
 type Server struct {
 	host *netsim.Host
@@ -160,11 +200,22 @@ type Server struct {
 	locator  *Locator
 	relays   map[uint64]*relayChannel
 
-	pendingIntro map[uint64]netsim.Addr // intro ID -> requester host addr
+	// pendingIntro correlates broker-to-broker introductions (CAN and
+	// federated alike) back to the requesting host: the reply must go to
+	// its address carrying its original request ID, not the intro's.
+	pendingIntro map[uint64]pendingIntro
 
 	// peered holds the network pairs the control plane may introduce
 	// hosts across (VPC peering); lookups stay strictly scoped.
 	peered map[[2]string]bool
+
+	// Federation state (federation.go): trusted peer brokers, the
+	// per-network replication sets, the replicas received from peers,
+	// and the dirty set pending a batched replication flush.
+	federated  map[netsim.Addr]bool
+	netBrokers map[string][]netsim.Addr
+	replicas   map[string]*replica
+	dirty      map[string]bool
 
 	nextID uint64
 
@@ -173,6 +224,17 @@ type Server struct {
 	RelayedIntroductions             uint64
 	RelayChannels                    uint64 // channels ever created
 	RelayFrames, RelayBytes          uint64 // data-plane relay traffic
+	// Federation stats.
+	ReplicationsOut, ReplicationsIn  uint64
+	WithdrawalsOut, WithdrawalsIn    uint64
+	FwdConnectsOut, FwdConnectsIn    uint64
+	PeerAllowsOut, PeerAllowsIn      uint64
+	PeerRevokesOut, PeerRevokesIn    uint64
+	SessionExpiries, ReplicaExpiries uint64
+	// RejectedFederation counts broker-to-broker messages refused because
+	// the source is not a federated peer or the record's network is not
+	// served here (the scope check).
+	RejectedFederation uint64
 }
 
 // NewServer starts a rendezvous server on a public host. stunAltIP must
@@ -185,8 +247,12 @@ func NewServer(host *netsim.Host, stunAltIP netsim.IP, cfg Config) (*Server, err
 		cfg:          cfg,
 		sessions:     make(map[string]*session),
 		relays:       make(map[uint64]*relayChannel),
-		pendingIntro: make(map[uint64]netsim.Addr),
+		pendingIntro: make(map[uint64]pendingIntro),
 		peered:       make(map[[2]string]bool),
+		federated:    make(map[netsim.Addr]bool),
+		netBrokers:   make(map[string][]netsim.Addr),
+		replicas:     make(map[string]*replica),
+		dirty:        make(map[string]bool),
 		locator:      NewLocator(),
 	}
 	sock, err := host.BindUDP(cfg.Port, s.onPacket)
@@ -204,14 +270,19 @@ func NewServer(host *netsim.Host, stunAltIP netsim.IP, cfg Config) (*Server, err
 		return nil, err
 	}
 	s.stun = srv
-	// Republish live session records into the CAN at half the TTL so
-	// they outlive their initial put as long as the host keeps pulsing.
+	// Republish live session records into the CAN (and re-replicate them
+	// to federated brokers) at half the TTL so they outlive their initial
+	// put as long as the host keeps pulsing.
 	sim.NewTicker(s.eng, cfg.SessionTTL/2, func() {
 		s.expire()
 		for _, ses := range s.sessions {
 			s.publish(ses.rec)
+			s.replicate(ses.rec)
 		}
 	})
+	if cfg.ReplicateInterval > 0 {
+		sim.NewTicker(s.eng, cfg.ReplicateInterval, func() { s.flushReplication() })
+	}
 	return s, nil
 }
 
@@ -265,6 +336,15 @@ func (s *Server) expire() {
 	for name, ses := range s.sessions {
 		if ses.lastSeen < cutoff {
 			delete(s.sessions, name)
+			s.SessionExpiries++
+			// The federation must not keep advertising a dead host.
+			s.withdraw(ses.rec)
+		}
+	}
+	s.expireReplicas(cutoff)
+	for id, pi := range s.pendingIntro {
+		if pi.created < cutoff {
+			delete(s.pendingIntro, id)
 		}
 	}
 }
@@ -292,11 +372,27 @@ func (s *Server) onPacket(pkt netsim.Packet) {
 	case kindIntroduce:
 		s.onIntroduce(pkt.Src, m)
 	case kindIntroAck:
-		s.onIntroAck(m)
+		s.onIntroAck(pkt.Src, m)
 	case kindGroupQuery:
 		s.onGroupQuery(pkt.Src, m)
 	case kindRTTReport:
 		s.onRTTReport(m)
+	case kindReplicate:
+		s.onReplicate(pkt.Src, m)
+	case kindWithdraw:
+		s.onWithdraw(pkt.Src, m)
+	case kindFwdConnect:
+		s.onFwdConnect(pkt.Src, m)
+	case kindFwdConnectAck:
+		s.onIntroAck(pkt.Src, m) // same resolution path as a CAN introduction
+	case kindPeerAllow, kindPeerRevoke:
+		s.onPeerPropagation(pkt.Src, m)
+	case kindError:
+		// A broker-to-broker failure (introduce or fwd-connect refused at
+		// the remote end): resolve the pending introduction so the
+		// requesting host fails fast instead of waiting out its timeout.
+		// Hosts never send errors to brokers; stray IDs are ignored.
+		s.onIntroAck(pkt.Src, m)
 	}
 }
 
@@ -312,8 +408,14 @@ func (s *Server) onJoin(src netsim.Addr, m *Msg) {
 	// address (it is the NAT mapping of the host's WAVNet socket).
 	rec.Mapped = src
 	rec.Server = s.Addr()
+	// A re-registration that rescopes the host to another network must
+	// pull the stale record out of the old network's federation.
+	if prev, ok := s.sessions[rec.Name]; ok && prev.rec.Net != rec.Net {
+		s.withdraw(prev.rec)
+	}
 	s.sessions[rec.Name] = &session{rec: rec, lastSeen: s.eng.Now()}
 	s.publish(rec)
+	s.replicate(rec)
 	s.reply(src, &Msg{Kind: kindJoinAck, ID: m.ID, Rec: &rec})
 }
 
@@ -373,6 +475,17 @@ func (s *Server) onLookup(src netsim.Addr, m *Msg) {
 			s.reply(src, &Msg{Kind: kindLookupReply, ID: m.ID, Records: recs})
 			return
 		}
+		// A federated replica answers locally: cross-broker names resolve
+		// without an extra hop (scoped exactly like sessions — a replica
+		// from another network is invisible, not an error).
+		if rep, ok := s.replicas[m.Name]; ok {
+			recs := []HostRecord{}
+			if rep.rec.Net == m.Net {
+				recs = append(recs, rep.rec)
+			}
+			s.reply(src, &Msg{Kind: kindLookupReply, ID: m.ID, Records: recs})
+			return
+		}
 		// Route through the CAN by name hash.
 		id := m.ID
 		s.can.Lookup(namePoint(m.Name, s.cfg.CANDims), func(res can.LookupResult, err error) {
@@ -413,11 +526,17 @@ func (s *Server) onLookup(src netsim.Addr, m *Msg) {
 		})
 		return
 	}
-	// No criteria: all local co-tenant sessions (diagnostics).
+	// No criteria: all co-tenant records this broker holds, homed and
+	// replicated alike (diagnostics).
 	var recs []HostRecord
 	for _, ses := range s.sessions {
 		if ses.rec.Net == m.Net {
 			recs = append(recs, ses.rec)
+		}
+	}
+	for name, rep := range s.replicas {
+		if _, local := s.sessions[name]; !local && rep.rec.Net == m.Net {
+			recs = append(recs, rep.rec)
 		}
 	}
 	sort.Slice(recs, func(i, j int) bool { return recs[i].Name < recs[j].Name })
@@ -434,11 +553,20 @@ func peerKey(a, b string) [2]string {
 
 // AllowPeering permits brokered connects between hosts of the two named
 // virtual networks (VPC peering). Lookup and group queries remain
-// strictly scoped — peering opens introductions, not discovery.
-func (s *Server) AllowPeering(netA, netB string) { s.peered[peerKey(netA, netB)] = true }
+// strictly scoped — peering opens introductions, not discovery. The
+// allowance is propagated to every federated broker serving either
+// network, so inter-VNI gateway connects keep working when the two
+// endpoints are homed on different brokers.
+func (s *Server) AllowPeering(netA, netB string) {
+	s.peered[peerKey(netA, netB)] = true
+	s.propagatePeering(kindPeerAllow, netA, netB)
+}
 
-// RevokePeering withdraws a peering allowance.
-func (s *Server) RevokePeering(netA, netB string) { delete(s.peered, peerKey(netA, netB)) }
+// RevokePeering withdraws a peering allowance (also federation-wide).
+func (s *Server) RevokePeering(netA, netB string) {
+	delete(s.peered, peerKey(netA, netB))
+	s.propagatePeering(kindPeerRevoke, netA, netB)
+}
 
 // netsLinked reports whether hosts of the two networks may be
 // introduced to each other: same network, or an explicit peering.
@@ -451,12 +579,11 @@ func (s *Server) netsLinked(a, b string) bool {
 func (s *Server) onConnect(src netsim.Addr, m *Msg) {
 	s.Connects++
 	requester, ok := s.sessions[m.Name]
-	_ = requester
-	if !ok && m.Rec == nil {
+	if !ok {
 		s.reply(src, &Msg{Kind: kindError, ID: m.ID, Error: "requester not registered"})
 		return
 	}
-	reqRec := s.sessions[m.Name].rec
+	reqRec := requester.rec
 	target := m.Peer.Name
 
 	if ses, local := s.sessions[target]; local {
@@ -468,6 +595,24 @@ func (s *Server) onConnect(src netsim.Addr, m *Msg) {
 		}
 		// Both hosts are ours: order both to punch.
 		s.orderPunch(reqRec, ses.rec, m.ID, src)
+		return
+	}
+	// A federated replica names the target's home broker directly:
+	// forward the punch orchestration there (the home broker holds the
+	// live NAT session to the target).
+	if rep, held := s.replicas[target]; held {
+		if !s.netsLinked(rep.rec.Net, reqRec.Net) {
+			s.reply(src, &Msg{Kind: kindError, ID: m.ID, Error: "cross-tenant connect refused"})
+			return
+		}
+		s.FwdConnectsOut++
+		s.nextID++
+		introID := s.nextID
+		s.pendingIntro[introID] = pendingIntro{host: src, hostID: m.ID,
+			remote: rep.rec.Server, created: s.eng.Now()}
+		s.sock.SendTo(rep.rec.Server, Encode(&Msg{
+			Kind: kindFwdConnect, ID: introID, Name: target, Rec: &reqRec,
+		}))
 		return
 	}
 	// Find the target's record through the CAN, then ask its server.
@@ -494,13 +639,15 @@ func (s *Server) onConnect(src netsim.Addr, m *Msg) {
 			s.RelayedIntroductions++
 			s.nextID++
 			introID := s.nextID
-			s.pendingIntro[introID] = src
+			s.pendingIntro[introID] = pendingIntro{host: src, hostID: id,
+				remote: rec.Server, created: s.eng.Now()}
 			s.sock.SendTo(rec.Server, Encode(&Msg{
 				Kind: kindIntroduce, ID: introID, Name: target, Rec: &reqRec,
 			}))
 			return
 		}
-		s.reply(src, &Msg{Kind: kindError, ID: id, Error: "target not found: " + target})
+		s.reply(src, &Msg{Kind: kindError, ID: id, Code: CodeNotFound,
+			Error: "target not found: " + target})
 	})
 }
 
@@ -521,13 +668,22 @@ func (s *Server) orderPunch(a, b HostRecord, id uint64, requester netsim.Addr) {
 }
 
 // onIntroduce (at the target's server): notify our host and ack with its
-// record. Unpunchable pairs get a relay channel hosted *here* (the
-// target's broker), because only this server has a live NAT session to
-// the target; the requester reaches any public address on its own.
+// record.
 func (s *Server) onIntroduce(src netsim.Addr, m *Msg) {
+	s.introduceLocal(src, m, kindIntroAck)
+}
+
+// introduceLocal brokers a connect whose requester lives on another
+// server (a CAN introduction or a federated forwarded connect): notify
+// our host and ack with its record. Unpunchable pairs get a relay
+// channel hosted *here* (the target's broker), because only this server
+// has a live NAT session to the target; the requester reaches any
+// public address on its own.
+func (s *Server) introduceLocal(src netsim.Addr, m *Msg, ackKind string) {
 	ses, ok := s.sessions[m.Name]
 	if !ok {
-		s.reply(src, &Msg{Kind: kindError, ID: m.ID, Error: "unknown host " + m.Name})
+		s.reply(src, &Msg{Kind: kindError, ID: m.ID, Code: CodeNotFound,
+			Error: "unknown host " + m.Name})
 		return
 	}
 	if m.Rec != nil && !s.netsLinked(m.Rec.Net, ses.rec.Net) {
@@ -547,34 +703,42 @@ func (s *Server) onIntroduce(src netsim.Addr, m *Msg) {
 		ch := s.newRelayChannel(ses.rec.Name, m.Rec.Name, ses.rec.Mapped, netsim.Addr{})
 		s.reply(ses.rec.Mapped, &Msg{Kind: kindRelayOrder, Peer: m.Rec,
 			RelayChan: ch.id, RelayAddr: s.Addr()})
-		s.reply(src, &Msg{Kind: kindIntroAck, ID: m.ID, Rec: &ses.rec,
+		s.reply(src, &Msg{Kind: ackKind, ID: m.ID, Rec: &ses.rec,
 			RelayChan: ch.id, RelayAddr: s.Addr()})
 		return
 	}
 	// Tell our host to punch toward the requester.
 	s.reply(ses.rec.Mapped, &Msg{Kind: kindPunchOrder, Peer: m.Rec})
 	// Hand the record back to the requester's server.
-	s.reply(src, &Msg{Kind: kindIntroAck, ID: m.ID, Rec: &ses.rec})
+	s.reply(src, &Msg{Kind: ackKind, ID: m.ID, Rec: &ses.rec})
 }
 
 // onIntroAck (back at the requester's server): order our host to punch,
-// or to use the relay channel the target's server allocated.
-func (s *Server) onIntroAck(m *Msg) {
-	host, ok := s.pendingIntro[m.ID]
+// or to use the relay channel the target's server allocated. Replies
+// carry the host's own request ID so its RPC waiters correlate. Only
+// the broker the introduction was forwarded to may resolve it — intro
+// IDs are sequential and guessable, so an unauthenticated ack could
+// otherwise steer the requester toward an attacker-chosen address.
+func (s *Server) onIntroAck(src netsim.Addr, m *Msg) {
+	pi, ok := s.pendingIntro[m.ID]
 	if !ok {
+		return
+	}
+	if src != pi.remote {
+		s.RejectedFederation++
 		return
 	}
 	delete(s.pendingIntro, m.ID)
 	if m.Error != "" || m.Rec == nil {
-		s.reply(host, &Msg{Kind: kindError, ID: m.ID, Error: m.Error})
+		s.reply(pi.host, &Msg{Kind: kindError, ID: pi.hostID, Error: m.Error, Code: m.Code})
 		return
 	}
 	if m.RelayChan != 0 {
-		s.reply(host, &Msg{Kind: kindRelayOrder, ID: m.ID, Peer: m.Rec,
+		s.reply(pi.host, &Msg{Kind: kindRelayOrder, ID: pi.hostID, Peer: m.Rec,
 			RelayChan: m.RelayChan, RelayAddr: m.RelayAddr})
 		return
 	}
-	s.reply(host, &Msg{Kind: kindPunchOrder, ID: m.ID, Peer: m.Rec})
+	s.reply(pi.host, &Msg{Kind: kindPunchOrder, ID: pi.hostID, Peer: m.Rec})
 }
 
 // onGroupQuery runs the locality-sensitive grouping over the locator's
@@ -596,6 +760,13 @@ func (s *Server) onGroupQuery(src netsim.Addr, m *Msg) {
 		allowed := make(map[string]bool)
 		for name, ses := range s.sessions {
 			if ses.rec.Net == m.Net {
+				allowed[name] = true
+			}
+		}
+		// Federated replicas are co-tenants too: their RTTs enter the
+		// locator whenever a local host reports a measurement to them.
+		for name, rep := range s.replicas {
+			if rep.rec.Net == m.Net {
 				allowed[name] = true
 			}
 		}

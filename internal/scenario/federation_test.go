@@ -1,0 +1,212 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"wavnet/internal/rendezvous"
+	"wavnet/internal/sim"
+	"wavnet/internal/vpc"
+)
+
+// TestFederatedNetworkEndToEnd is the federation acceptance test: one
+// tenant network spans two brokers; a host homed on broker A punches a
+// tunnel end-to-end to a co-tenant homed on broker B (data plane
+// verified by ping), while a federated broker the spec does not name —
+// and the unnamed primary — hold zero of the tenant's records.
+func TestFederatedNetworkEndToEnd(t *testing.T) {
+	w, err := Build(31, EmulatedWANSpecs(5, 100e6), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := w.AddBroker("b1", rendezvous.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := w.AddBroker("b2", rendezvous.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	witness, err := w.AddBroker("witness", rendezvous.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, broker := range map[string]string{
+		"pc00": "b1", "pc01": "b1", "pc02": "b2", "pc03": "b2",
+	} {
+		if err := w.SetHome(key, broker); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	spec := vpc.TenantSpec{
+		Tenant: "acme",
+		Networks: []vpc.NetworkSpec{{
+			Name: "fed", CIDR: "10.70.0.0/24", StaticAddressing: true,
+			Members: []string{"pc00", "pc01", "pc02", "pc03"},
+			Brokers: []string{"b1", "b2"},
+		}},
+	}
+	rep, err := w.ApplySync(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range rep.Actions {
+		if a.Op == "federate" && a.Network == "fed" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no federate action in %v", rep.Ops())
+	}
+	rep2, err := w.ApplySync(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Empty() {
+		t.Fatalf("second apply not idempotent: %v", rep2.Ops())
+	}
+
+	// Homing: sessions live on the declared home brokers only.
+	if !b1.HasSession("pc00") || !b2.HasSession("pc02") {
+		t.Fatal("hosts did not home on their brokers")
+	}
+	if w.Rdv.HasSession("pc00") || w.Rdv.HasSession("pc02") {
+		t.Fatal("hosts also registered on the primary broker")
+	}
+
+	// Scope: both named brokers know all four records (homed+replica);
+	// the unnamed witness and the unnamed primary know none.
+	if got := b1.RecordsFor("fed"); got != 4 {
+		t.Fatalf("b1 records = %d, want 4", got)
+	}
+	if got := b2.RecordsFor("fed"); got != 4 {
+		t.Fatalf("b2 records = %d, want 4", got)
+	}
+	if got := witness.RecordsFor("fed"); got != 0 || witness.ReplicaCount() != 0 {
+		t.Fatalf("witness broker holds %d fed records, %d replicas; want 0",
+			got, witness.ReplicaCount())
+	}
+	if got := w.Rdv.RecordsFor("fed"); got != 0 {
+		t.Fatalf("primary broker holds %d fed records, want 0", got)
+	}
+
+	// Cross-broker tunnel: pc00 (b1) <-> pc03 (b2) was punched during
+	// the admission mesh; it must be direct (not relayed) and carry
+	// traffic end-to-end.
+	tun, ok := w.M("pc00").WAV.Tunnel("pc03")
+	if !ok || !tun.Established() {
+		t.Fatal("no established cross-broker tunnel pc00-pc03")
+	}
+	if tun.Relayed {
+		t.Fatal("cross-broker tunnel fell back to relay; punch was not brokered")
+	}
+	net, _ := w.VPC().Get("fed")
+	var src, dst *vpc.Member
+	for _, m := range net.Members() {
+		switch m.Host.Name() {
+		case "pc00":
+			src = m
+		case "pc03":
+			dst = m
+		}
+	}
+	var pingErr error
+	w.Eng.Spawn("cross-ping", func(p *sim.Proc) {
+		src.Stack.Ping(p, dst.IP, 56, 5*time.Second) // warm ARP
+		_, pingErr = src.Stack.Ping(p, dst.IP, 56, 5*time.Second)
+	})
+	w.Eng.RunFor(15 * time.Second)
+	if pingErr != nil {
+		t.Fatalf("cross-broker ping: %v", pingErr)
+	}
+
+	// Cross-broker lookup resolves through the replica store.
+	var recs []rendezvous.HostRecord
+	var lookErr error
+	w.Eng.Spawn("lookup", func(p *sim.Proc) {
+		recs, lookErr = w.M("pc00").WAV.Lookup(p, "pc03")
+	})
+	w.Eng.RunFor(10 * time.Second)
+	if lookErr != nil || len(recs) != 1 || recs[0].Server != b2.Addr() {
+		t.Fatalf("cross-broker lookup: err=%v recs=%+v", lookErr, recs)
+	}
+
+	// A member homed on a broker the network does not name is refused
+	// before its record could leak outside the federation.
+	bad := spec
+	bad.Networks = append([]vpc.NetworkSpec(nil), spec.Networks...)
+	bad.Networks[0].Members = append(append([]string(nil),
+		spec.Networks[0].Members...), "pc04") // pc04 homes on the primary
+	if _, err := w.ApplySync(bad); err == nil ||
+		!strings.Contains(err.Error(), "does not name") {
+		t.Fatalf("unhomed member admitted: %v", err)
+	}
+}
+
+// TestFederatedPeeringAcrossBrokers: two networks of one tenant, homed
+// on different brokers but sharing a broker set, peer — the allowance
+// propagates across the federation and the inter-VNI gateway path works
+// for endpoints homed on different brokers.
+func TestFederatedPeeringAcrossBrokers(t *testing.T) {
+	w, err := Build(32, EmulatedWANSpecs(4, 100e6), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := w.AddBroker("b1", rendezvous.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := w.AddBroker("b2", rendezvous.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, broker := range map[string]string{
+		"pc00": "b1", "pc01": "b1", "pc02": "b2", "pc03": "b2",
+	} {
+		if err := w.SetHome(key, broker); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spec := vpc.TenantSpec{
+		Tenant: "acme",
+		Networks: []vpc.NetworkSpec{
+			{Name: "red", CIDR: "10.10.0.0/24", StaticAddressing: true,
+				Members: []string{"pc00", "pc01"}, Brokers: []string{"b1", "b2"}},
+			{Name: "blue", CIDR: "10.20.0.0/24", StaticAddressing: true,
+				Members: []string{"pc02", "pc03"}, Brokers: []string{"b1", "b2"}},
+		},
+		Peerings: []vpc.PeeringSpec{{A: "red", B: "blue"}},
+	}
+	if _, err := w.ApplySync(spec); err != nil {
+		t.Fatal(err)
+	}
+	if !b1.PeeringAllowed("red", "blue") || !b2.PeeringAllowed("red", "blue") {
+		t.Fatal("peering allowance did not reach both brokers")
+	}
+
+	red, _ := w.VPC().Get("red")
+	blue, _ := w.VPC().Get("blue")
+	sender := red.Members()[0]  // homed on b1
+	target := blue.Members()[1] // homed on b2
+	var pingErr error
+	w.Eng.Spawn("peered-ping", func(p *sim.Proc) {
+		sender.Stack.Ping(p, target.IP, 32, 4*time.Second)
+		_, pingErr = sender.Stack.Ping(p, target.IP, 32, 4*time.Second)
+	})
+	w.Eng.RunFor(20 * time.Second)
+	if pingErr != nil {
+		t.Fatalf("peered cross-broker ping: %v", pingErr)
+	}
+
+	// Unpeer: the revocation must reach both brokers too.
+	spec.Peerings = nil
+	if _, err := w.ApplySync(spec); err != nil {
+		t.Fatal(err)
+	}
+	if b1.PeeringAllowed("red", "blue") || b2.PeeringAllowed("red", "blue") {
+		t.Fatal("revocation did not reach both brokers")
+	}
+}

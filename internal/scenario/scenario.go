@@ -77,6 +77,10 @@ type Machine struct {
 	WAV  *core.Host
 	IPOP *ipop.Node
 
+	// home names the rendezvous broker this machine registers with
+	// ("" = the world's primary broker).
+	home string
+
 	// VIP is the machine's virtual address on the WAVNet LAN (10.1.0.x);
 	// the IPOP dom0 uses 10.2.0.x.
 	VIP     netsim.IP
@@ -94,14 +98,26 @@ func (m *Machine) Dom0() *ipstack.Stack {
 	return m.WAV.Dom0()
 }
 
+// PrimaryBroker is the name of the rendezvous broker Build creates.
+const PrimaryBroker = "rdv"
+
 // World is a built scenario.
 type World struct {
 	Eng      *sim.Engine
 	Net      *netsim.Network
 	Hub      *netsim.Site
-	Rdv      *rendezvous.Server
+	Rdv      *rendezvous.Server // primary broker (Brokers[0])
 	Machines []*Machine
 	byKey    map[string]*Machine
+
+	// Brokers are the world's rendezvous servers in creation order; all
+	// are mutually federated, but records replicate only within each
+	// network's declared broker set.
+	Brokers      []*rendezvous.Server
+	brokerByName map[string]*rendezvous.Server
+	// netFed is the applied federation per network: the broker names
+	// serving it (absent = primary only).
+	netFed map[string][]string
 
 	IPOPNet *ipop.Network
 
@@ -123,9 +139,11 @@ func (w *World) M(key string) *Machine {
 // server, plus one NATed machine per spec at its own site.
 func Build(seed int64, specs []Spec, overrides map[[2]string]sim.Duration) (*World, error) {
 	w := &World{
-		Eng:      sim.NewEngine(seed),
-		byKey:    make(map[string]*Machine),
-		physPort: 4700,
+		Eng:          sim.NewEngine(seed),
+		byKey:        make(map[string]*Machine),
+		brokerByName: make(map[string]*rendezvous.Server),
+		netFed:       make(map[string][]string),
+		physPort:     4700,
 	}
 	w.Net = netsim.New(w.Eng)
 	w.Hub = w.Net.NewSite("hub")
@@ -137,6 +155,8 @@ func Build(seed int64, specs []Spec, overrides map[[2]string]sim.Duration) (*Wor
 	}
 	rdv.Bootstrap()
 	w.Rdv = rdv
+	w.Brokers = []*rendezvous.Server{rdv}
+	w.brokerByName[PrimaryBroker] = rdv
 
 	sites := make([]*netsim.Site, len(specs))
 	for i, sp := range specs {
@@ -172,6 +192,132 @@ func Build(seed int64, specs []Spec, overrides map[[2]string]sim.Duration) (*Wor
 		w.byKey[sp.Key] = m
 	}
 	return w, nil
+}
+
+// ---- federated rendezvous: broker topology ----
+
+// AddBroker creates one more rendezvous server at its own public site
+// and federates it mutually with every existing broker. Federation is
+// trust, not replication: records still travel only within each
+// network's declared broker set (TenantSpec's NetworkSpec.Brokers).
+func (w *World) AddBroker(name string, cfg rendezvous.Config) (*rendezvous.Server, error) {
+	if name == "" {
+		return nil, fmt.Errorf("scenario: broker needs a name")
+	}
+	if _, dup := w.brokerByName[name]; dup {
+		return nil, fmt.Errorf("scenario: broker %q already exists", name)
+	}
+	n := len(w.Brokers)
+	if n > 250 {
+		return nil, fmt.Errorf("scenario: broker address space exhausted")
+	}
+	site := w.Net.NewSite("hub-" + name)
+	host := w.Net.NewPublicHost("rdv-"+name, site,
+		netsim.MakeIP(50, 0, byte(n), 1), 1e9, 100*time.Microsecond)
+	s, err := rendezvous.NewServer(host, netsim.MakeIP(50, 0, byte(n), 2), cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.Bootstrap()
+	for _, other := range w.Brokers {
+		other.Federate(s.Addr())
+		s.Federate(other.Addr())
+	}
+	w.Brokers = append(w.Brokers, s)
+	w.brokerByName[name] = s
+	return s, nil
+}
+
+// Broker resolves a broker by name (PrimaryBroker is always present).
+func (w *World) Broker(name string) (*rendezvous.Server, bool) {
+	s, ok := w.brokerByName[name]
+	return s, ok
+}
+
+// SetHome homes a machine on a named broker: its WAVNet host registers
+// there instead of the primary. Must be called before the machine joins.
+func (w *World) SetHome(key, broker string) error {
+	m, ok := w.byKey[key]
+	if !ok {
+		return fmt.Errorf("scenario: unknown machine %q", key)
+	}
+	if _, ok := w.brokerByName[broker]; !ok {
+		return fmt.Errorf("scenario: unknown broker %q", broker)
+	}
+	if m.WAV != nil && m.WAV.Joined() {
+		return fmt.Errorf("scenario: %s already joined its broker", key)
+	}
+	m.home = broker
+	return nil
+}
+
+// HomeBroker implements vpc.Fabric: the name of the broker the machine
+// registers with. The empty key names the primary broker itself.
+func (w *World) HomeBroker(key string) string {
+	if m, ok := w.byKey[key]; ok && m.home != "" {
+		return m.home
+	}
+	return PrimaryBroker
+}
+
+func (w *World) homeOf(m *Machine) *rendezvous.Server {
+	if m.home != "" {
+		return w.brokerByName[m.home]
+	}
+	return w.Rdv
+}
+
+// ConfigureNetFederation implements vpc.Fabric: it installs a network's
+// replication set on every named broker (each gets the others as its
+// peers for the network) and withdraws the network from brokers no
+// longer named.
+func (w *World) ConfigureNetFederation(net string, brokers []string) error {
+	servers := make([]*rendezvous.Server, len(brokers))
+	for i, name := range brokers {
+		s, ok := w.brokerByName[name]
+		if !ok {
+			return fmt.Errorf("scenario: network %q names unknown broker %q", net, name)
+		}
+		servers[i] = s
+	}
+	named := make(map[string]bool, len(brokers))
+	for _, name := range brokers {
+		named[name] = true
+	}
+	for _, old := range w.netFed[net] {
+		if !named[old] {
+			w.brokerByName[old].ClearNetBrokers(net)
+		}
+	}
+	for i, s := range servers {
+		peers := make([]netsim.Addr, 0, len(servers)-1)
+		for j, other := range servers {
+			if j != i {
+				peers = append(peers, other.Addr())
+			}
+		}
+		s.SetNetBrokers(net, peers)
+	}
+	if len(brokers) == 0 {
+		delete(w.netFed, net)
+	} else {
+		w.netFed[net] = append([]string(nil), brokers...)
+	}
+	return nil
+}
+
+// brokersServing returns the servers holding a network's records: its
+// federated set, or the primary broker when it has none.
+func (w *World) brokersServing(net string) []*rendezvous.Server {
+	names, ok := w.netFed[net]
+	if !ok {
+		return []*rendezvous.Server{w.Rdv}
+	}
+	out := make([]*rendezvous.Server, 0, len(names))
+	for _, name := range names {
+		out = append(out, w.brokerByName[name])
+	}
+	return out
 }
 
 // EmulatedWANSpecs builds n identical NATed PCs whose WAN access is
@@ -212,8 +358,9 @@ func (w *World) joinHosts(ms []*Machine, withDom0 bool) error {
 			return err
 		}
 		m.WAV = h
+		home := w.homeOf(m)
 		w.Eng.Spawn("join-"+m.Key, func(p *sim.Proc) {
-			if errs[i] = h.Join(p, w.Rdv.Addr()); errs[i] != nil {
+			if errs[i] = h.Join(p, home.Addr()); errs[i] != nil {
 				return
 			}
 			if withDom0 {
@@ -294,7 +441,7 @@ func (w *World) Apply(p *sim.Proc, spec vpc.TenantSpec) (*vpc.ApplyReport, error
 }
 
 // ResolveHost implements vpc.Fabric: it returns the machine's WAVNet
-// host, creating it and joining it to the rendezvous server first when
+// host, creating it and joining it to its home broker first when
 // needed.
 func (w *World) ResolveHost(p *sim.Proc, key string) (*core.Host, error) {
 	m, ok := w.byKey[key]
@@ -309,18 +456,45 @@ func (w *World) ResolveHost(p *sim.Proc, key string) (*core.Host, error) {
 		m.WAV = h
 	}
 	if !m.WAV.Joined() {
-		if err := m.WAV.Join(p, w.Rdv.Addr()); err != nil {
+		if err := m.WAV.Join(p, w.homeOf(m).Addr()); err != nil {
 			return nil, fmt.Errorf("scenario: join %s: %w", key, err)
 		}
 	}
 	return m.WAV, nil
 }
 
-// AllowNetPeering implements vpc.Fabric against the world's broker.
-func (w *World) AllowNetPeering(a, b string) { w.Rdv.AllowPeering(a, b) }
+// AllowNetPeering implements vpc.Fabric: the allowance is asserted on
+// one origin broker per network and federation propagation
+// (peer-allow) carries it to the rest of each replication set — one
+// direct call plus a linear fan-out instead of telling every broker
+// directly.
+func (w *World) AllowNetPeering(a, b string) {
+	for _, s := range w.peeringOrigins(a, b) {
+		s.AllowPeering(a, b)
+	}
+}
 
-// RevokeNetPeering implements vpc.Fabric against the world's broker.
-func (w *World) RevokeNetPeering(a, b string) { w.Rdv.RevokePeering(a, b) }
+// RevokeNetPeering implements vpc.Fabric against the same origins.
+func (w *World) RevokeNetPeering(a, b string) {
+	for _, s := range w.peeringOrigins(a, b) {
+		s.RevokePeering(a, b)
+	}
+}
+
+// peeringOrigins picks the first broker serving each network (deduped):
+// its propagation reaches the network's remaining brokers, so two
+// origins cover both sets even when they are disjoint.
+func (w *World) peeringOrigins(a, b string) []*rendezvous.Server {
+	seen := make(map[*rendezvous.Server]bool)
+	var out []*rendezvous.Server
+	for _, net := range []string{a, b} {
+		if serving := w.brokersServing(net); len(serving) > 0 && !seen[serving[0]] {
+			seen[serving[0]] = true
+			out = append(out, serving[0])
+		}
+	}
+	return out
+}
 
 // ApplySync runs Apply in a fresh process and drives the engine in
 // slices until it converges, for callers outside simulation context

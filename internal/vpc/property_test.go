@@ -170,6 +170,123 @@ func TestCrossTenantTrafficNeverDelivered(t *testing.T) {
 	}
 }
 
+// TestTransitivePeeringNeverLeaks is the ROADMAP's transitivity
+// property: with red<->mid and mid<->green peered — under any
+// combination of allow policies — nothing ever crosses red<->green.
+// The inter-VNI gateway is single-hop: a frame tagged with red's VNI is
+// only ever re-injected by a rule installed for the explicit pair
+// (red, local), and an injected frame enters the peered bridge through
+// its tap, which the bridge never echoes back out — so no rule chain
+// red->mid->green exists.
+func TestTransitivePeeringNeverLeaks(t *testing.T) {
+	// Candidate allow-lists per direction (nil = the whole CIDR). The
+	// leak property must hold for every draw; the full/full draw doubles
+	// as the non-vacuity control (red<->mid and mid<->green deliver).
+	intoRed := [][]string{nil, {"10.10.0.1/32"}, {"10.10.0.0/31"}}
+	intoMid := [][]string{nil, {"10.20.0.1/32"}, {"10.20.0.0/31"}}
+	intoGreen := [][]string{nil, {"10.30.0.1/32"}, {"10.30.0.200/32"}}
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 4; i++ {
+		ab := vpc.PeeringSpec{A: "red", B: "mid"}
+		bc := vpc.PeeringSpec{A: "mid", B: "green"}
+		full := i == 0 // first draw: everything allowed, both peerings
+		if !full {
+			ab.AllowA = intoRed[rng.Intn(len(intoRed))]
+			ab.AllowB = intoMid[rng.Intn(len(intoMid))]
+			bc.AllowA = intoMid[rng.Intn(len(intoMid))]
+			bc.AllowB = intoGreen[rng.Intn(len(intoGreen))]
+		}
+		transitiveOnce(t, int64(50+i), ab, bc, full)
+	}
+}
+
+func transitiveOnce(t *testing.T, seed int64, ab, bc vpc.PeeringSpec, wantDelivery bool) {
+	t.Helper()
+	w, err := scenario.Build(seed, scenario.EmulatedWANSpecs(3, 100e6), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shared fabric first: every host pair holds a tunnel before the
+	// split, so non-delivery below is policy, not disconnection.
+	if err := w.WAVNetUp(); err != nil {
+		t.Fatal(err)
+	}
+	spec := vpc.TenantSpec{
+		Tenant: "acme",
+		Networks: []vpc.NetworkSpec{
+			{Name: "red", CIDR: "10.10.0.0/24", Members: []string{"pc00"}, StaticAddressing: true},
+			{Name: "mid", CIDR: "10.20.0.0/24", Members: []string{"pc01"}, StaticAddressing: true},
+			{Name: "green", CIDR: "10.30.0.0/24", Members: []string{"pc02"}, StaticAddressing: true},
+		},
+		Peerings: []vpc.PeeringSpec{ab, bc},
+	}
+	if _, err := w.ApplySync(spec); err != nil {
+		t.Fatalf("apply (ab=%+v bc=%+v): %v", ab, bc, err)
+	}
+	red, _ := w.VPC().Get("red")
+	mid, _ := w.VPC().Get("mid")
+	green, _ := w.VPC().Get("green")
+	sender := red.Members()[0]
+	greenMember := green.Members()[0]
+
+	// Listener on green's segment: any frame sourced by red's member is
+	// a transitive leak (mid's frames are legitimate — mid<->green ARE
+	// peered).
+	redMAC := sender.Stack.MAC()
+	leaked := 0
+	br, ok := greenMember.Host.SegmentBridge(green.VNI)
+	if !ok {
+		t.Fatal("green member lost its segment")
+	}
+	br.AddPort("leak-listener").SetRecv(func(f *ether.Frame) {
+		if f.Src == redMAC {
+			leaked++
+		}
+	})
+
+	var redMidErr, midGreenErr, redGreenErr, redGreenFloodErr error
+	w.Eng.Spawn("probe", func(p *sim.Proc) {
+		ping := func(from *vpc.Member, ip netsim.IP) error {
+			if _, err := from.Stack.Ping(p, ip, 32, 4*time.Second); err == nil {
+				return nil
+			}
+			_, err := from.Stack.Ping(p, ip, 32, 4*time.Second)
+			return err
+		}
+		redMidErr = ping(sender, mid.Members()[0].IP)
+		midGreenErr = ping(mid.Members()[0], greenMember.IP)
+		// The property: red never reaches green, first with VNI-aware
+		// flood suppression doing its job...
+		redGreenErr = ping(sender, greenMember.IP)
+		// ...then with the sender flooding everywhere, so red-tagged
+		// frames really arrive at green's host and must die there.
+		sender.Host.SetFloodAll(true)
+		redGreenFloodErr = ping(sender, greenMember.IP)
+	})
+	w.Eng.RunFor(3 * time.Minute)
+
+	if wantDelivery {
+		if redMidErr != nil {
+			t.Errorf("red->mid ping failed under full policy: %v", redMidErr)
+		}
+		if midGreenErr != nil {
+			t.Errorf("mid->green ping failed under full policy: %v", midGreenErr)
+		}
+	}
+	if redGreenErr == nil || redGreenFloodErr == nil {
+		t.Errorf("red->green delivered (suppressed=%v flooded=%v) with ab=%+v bc=%+v; transitive peering must not leak",
+			redGreenErr, redGreenFloodErr, ab, bc)
+	}
+	if leaked != 0 {
+		t.Errorf("%d foreign frames delivered into green's segment (ab=%+v bc=%+v)", leaked, ab, bc)
+	}
+	// Non-vacuity of the forced-flood phase: red-tagged frames must have
+	// reached green's host and died at its gateway/isolation check.
+	if drops := greenMember.Host.CrossVNIDrops + greenMember.Host.PeerPolicyDrops; drops == 0 {
+		t.Errorf("no red-tagged frames ever reached green's host; leak check vacuous (ab=%+v bc=%+v)", ab, bc)
+	}
+}
+
 // TestPeeringPolicyProperty is the peering property: randomized traffic
 // between peered networks is delivered exactly for policy-allowed
 // destination prefixes, and networks without a PeeringSpec remain

@@ -17,8 +17,10 @@ import (
 )
 
 // Fabric is what the reconciler needs from the surrounding world: a way
-// to resolve machine keys to joined WAVNet hosts, and control over the
-// rendezvous broker's peering allowances. scenario.World implements it.
+// to resolve machine keys to joined WAVNet hosts, control over the
+// rendezvous layer's peering allowances, and the broker topology —
+// which broker each machine homes on and how a network's records
+// federate across brokers. scenario.World implements it.
 type Fabric interface {
 	// ResolveHost returns the named machine's WAVNet host, creating it
 	// and joining it to the rendezvous layer first if needed. It blocks
@@ -28,6 +30,15 @@ type Fabric interface {
 	// networks; RevokeNetPeering withdraws the allowance.
 	AllowNetPeering(a, b string)
 	RevokeNetPeering(a, b string)
+	// HomeBroker names the rendezvous broker the machine registers
+	// with (the fabric's primary broker when unset). The empty key
+	// names the primary broker itself.
+	HomeBroker(key string) string
+	// ConfigureNetFederation installs the network's replication set on
+	// every named broker — records of the network replicate among
+	// exactly those brokers. An empty list withdraws the network from
+	// the federation (primary broker only).
+	ConfigureNetFederation(net string, brokers []string) error
 }
 
 // tenantState is the reconciler's memory of what it last applied for a
@@ -72,6 +83,7 @@ func (mg *Manager) SnapshotTenant(tenant string) TenantSpec {
 			VNI:              n.VNI,
 			StaticAddressing: n.cfg.StaticAddressing,
 			Lease:            n.cfg.Lease,
+			Brokers:          append([]string(nil), n.Brokers...),
 		}
 		for _, m := range n.Members() {
 			ns.Members = append(ns.Members, m.Host.Name())
@@ -121,6 +133,30 @@ func (mg *Manager) Reconcile(p *sim.Proc, spec TenantSpec, fab Fabric) (*ApplyRe
 		desiredPairs[pairKey(pe.A, pe.B)] = pe
 	}
 
+	// Federation scope, checked before any state is touched: every
+	// member's record lives on its home broker, so that broker must be
+	// in the network's set — or be the primary, for networks that
+	// declare none — or the record would sit outside the declared
+	// federation (a silent partition: co-tenants on the named brokers
+	// could never look the member up). This also refuses shrinking the
+	// broker set from under an existing member.
+	for i := range spec.Networks {
+		ns := &spec.Networks[i]
+		named := make(map[string]bool, len(ns.Brokers))
+		for _, b := range ns.Brokers {
+			named[b] = true
+		}
+		if len(ns.Brokers) == 0 {
+			named[fab.HomeBroker("")] = true // unfederated: primary only
+		}
+		for _, key := range ns.Members {
+			if home := fab.HomeBroker(key); !named[home] {
+				return rep, fmt.Errorf("vpc: member %s homes on broker %q, which network %q's broker set %v does not name",
+					key, home, ns.Name, ns.Brokers)
+			}
+		}
+	}
+
 	// 1. Remove stale peerings first, while both sides' networks and
 	// members still exist.
 	stale := make([][2]string, 0)
@@ -155,17 +191,45 @@ func (mg *Manager) Reconcile(p *sim.Proc, spec TenantSpec, fab Fabric) (*ApplyRe
 			}
 			Action{Op: "evict", Network: live.Name, Host: m.Host.Name()}.record(rep)
 		}
+		// Withdraw the network from the federation before the name is
+		// freed: a reusable name must not inherit a replication set.
+		if len(live.Brokers) > 0 {
+			if err := fab.ConfigureNetFederation(live.Name, nil); err != nil {
+				return rep, fmt.Errorf("vpc: defederate %s: %w", live.Name, err)
+			}
+			Action{Op: "defederate", Network: live.Name}.record(rep)
+		}
 		if err := mg.Delete(live.Name); err != nil {
 			return rep, fmt.Errorf("vpc: delete %s: %w", live.Name, err)
 		}
 		Action{Op: "delete-network", Network: live.Name}.record(rep)
 	}
 
-	// 3. Create, adopt or recreate the declared networks.
+	// 3. Create, adopt or recreate the declared networks, then converge
+	// each network's federation: the replication set is installed on
+	// exactly the named brokers BEFORE any member joins, so a record is
+	// never registered outside its network's broker set.
 	for i := range spec.Networks {
 		ns := &spec.Networks[i]
 		if err := mg.reconcileNetwork(spec.Tenant, ns, ts, fab, rep); err != nil {
 			return rep, err
+		}
+	}
+	for i := range spec.Networks {
+		ns := &spec.Networks[i]
+		live := mg.networks[ns.Name]
+		if stringsEqual(live.Brokers, ns.Brokers) {
+			continue
+		}
+		if err := fab.ConfigureNetFederation(ns.Name, ns.Brokers); err != nil {
+			return rep, fmt.Errorf("vpc: federate %s: %w", ns.Name, err)
+		}
+		live.Brokers = append([]string(nil), ns.Brokers...)
+		if len(ns.Brokers) == 0 {
+			Action{Op: "defederate", Network: ns.Name}.record(rep)
+		} else {
+			Action{Op: "federate", Network: ns.Name,
+				Detail: fmt.Sprintf("brokers %v", ns.Brokers)}.record(rep)
 		}
 	}
 
@@ -309,6 +373,13 @@ func (mg *Manager) reconcileNetwork(tenant string, ns *NetworkSpec, ts *tenantSt
 		if pair[0] == ns.Name || pair[1] == ns.Name {
 			delete(ts.peerings, pair)
 			mg.removePeering(pair, ts, fab, rep)
+		}
+	}
+	// The recreated network starts unfederated; the federation step
+	// right after network reconciliation re-installs the spec's set.
+	if len(live.Brokers) > 0 {
+		if err := fab.ConfigureNetFederation(ns.Name, nil); err != nil {
+			return fmt.Errorf("vpc: recreate %s: defederate: %w", ns.Name, err)
 		}
 	}
 	if err := mg.Delete(ns.Name); err != nil {

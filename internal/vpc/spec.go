@@ -47,6 +47,12 @@ type NetworkSpec struct {
 	StaticAddressing bool
 	// Lease is the DHCP lease duration (default 10 minutes).
 	Lease sim.Duration
+	// Brokers is the network's federation: the named rendezvous brokers
+	// replicate this network's host records among themselves, and only
+	// among themselves — a broker the spec does not name never learns
+	// about the network. Members must home on one of the named brokers.
+	// Empty keeps the network on the fabric's primary broker alone.
+	Brokers []string
 }
 
 // PeeringSpec is a policy-carrying route between two of the tenant's
@@ -93,7 +99,8 @@ func ParsePrefix(s string) (ether.Prefix, error) {
 type Action struct {
 	// Op identifies the change: create-network, adopt-network,
 	// recreate-network, delete-network, admit, evict, peer, repeer,
-	// unpeer, peer-connect, peer-disconnect, set-quota, clear-quota.
+	// unpeer, peer-connect, peer-disconnect, set-quota, clear-quota,
+	// federate, defederate.
 	Op string
 	// Network is the affected network (or "a<->b" pair for peerings).
 	Network string
@@ -190,6 +197,16 @@ func (spec *TenantSpec) validate() error {
 					spec.Tenant, m, other, ns.Name)
 			}
 			owner[m] = ns.Name
+		}
+		seenBrokers := make(map[string]bool, len(ns.Brokers))
+		for _, b := range ns.Brokers {
+			if b == "" {
+				return fmt.Errorf("vpc: tenant %s: network %q lists an empty broker", spec.Tenant, ns.Name)
+			}
+			if seenBrokers[b] {
+				return fmt.Errorf("vpc: tenant %s: network %q lists broker %q twice", spec.Tenant, ns.Name, b)
+			}
+			seenBrokers[b] = true
 		}
 	}
 	pairs := make(map[[2]string]bool, len(spec.Peerings))

@@ -120,6 +120,10 @@ type Network struct {
 	// Tenant is the owner that declared this network through a
 	// TenantSpec ("" for networks created imperatively).
 	Tenant string
+	// Brokers is the applied federation: the rendezvous brokers that
+	// replicate this network's records among themselves (empty = the
+	// fabric's primary broker alone). Maintained by the reconciler.
+	Brokers []string
 
 	cfg     NetworkConfig
 	members map[string]*Member

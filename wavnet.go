@@ -231,6 +231,18 @@ type (
 	ApplyAction = vpc.Action
 )
 
+// Federated rendezvous: a network's records replicate only among the
+// brokers its spec names (NetworkSpec.Brokers); hosts home on one
+// broker (World.SetHome) but connect fabric-wide — cross-broker
+// connects are forwarded between brokers.
+type (
+	// RendezvousServer is one broker of the federation.
+	RendezvousServer = rendezvous.Server
+	// RendezvousConfig tunes a broker (ports, session TTL, relay
+	// fallback, replication batching).
+	RendezvousConfig = rendezvous.Config
+)
+
 // NewVPCManager creates a standalone multi-tenant control plane (for
 // custom setups outside a World).
 func NewVPCManager() *VPCManager { return vpc.NewManager() }
