@@ -112,6 +112,22 @@ func (n *Node) ResourceCount() int { return len(n.resources) }
 // Active reports whether the node currently owns any zone.
 func (n *Node) Active() bool { return n.active }
 
+// Close tears the node down abruptly (a crash, not a graceful Leave):
+// the socket is released, the heartbeat stops, and all zone and
+// resource state is discarded. Neighbors discover the death through
+// their own missed-hello detection. A fresh node may rebind the port.
+func (n *Node) Close() {
+	n.active = false
+	n.zones = nil
+	n.resources = make(map[string]*Resource)
+	n.neighbors = make(map[netsim.Addr]*neighborInfo)
+	if n.hbEv != nil {
+		n.eng.Cancel(n.hbEv)
+		n.hbEv = nil
+	}
+	n.sock.Close()
+}
+
 // Bootstrap makes this node the first member, owning the whole space.
 func (n *Node) Bootstrap() {
 	n.zones = []Zone{FullZone(n.cfg.Dims)}

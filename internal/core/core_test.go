@@ -606,6 +606,18 @@ func TestJoinAnyFailsOverToLiveServer(t *testing.T) {
 	if len(recs) != 1 {
 		t.Fatalf("lookup through failover server: %v", recs)
 	}
+	// The election left its trail: both brokers were attempted in order
+	// (the dead one first, the winner last), and the full list became
+	// the standing failover candidate set. Re-home elections read this
+	// to skip a broker already found dead instead of retrying it.
+	attempts := h.JoinAttempts()
+	if len(attempts) != 2 || attempts[0] != dead.Addr() || attempts[1] != live.Addr() {
+		t.Fatalf("JoinAttempts = %v, want [dead live]", attempts)
+	}
+	cands := h.BrokerCandidates()
+	if len(cands) != 2 || cands[0] != dead.Addr() || cands[1] != live.Addr() {
+		t.Fatalf("BrokerCandidates = %v, want the JoinAny list", cands)
+	}
 }
 
 func TestHostChurnLeavesNoResidue(t *testing.T) {

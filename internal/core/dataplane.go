@@ -20,7 +20,7 @@ func (h *Host) onPacket(pkt netsim.Packet) {
 	switch pkt.Payload[0] {
 	case '{':
 		if m, err := rendezvous.Decode(pkt.Payload); err == nil {
-			h.onControl(m)
+			h.onControl(pkt.Src, m)
 		}
 	case 0x00, 0x01:
 		if m, err := stun.Unmarshal(pkt.Payload); err == nil &&
@@ -116,8 +116,21 @@ func (h *Host) startRelay(rec rendezvous.HostRecord, ch uint64, relay netsim.Add
 }
 
 // onControl handles broker messages: RPC replies and unsolicited punch
-// or relay orders.
-func (h *Host) onControl(m *rendezvous.Msg) {
+// or relay orders. Anything arriving from the home broker's address
+// refreshes its liveness clock (home-broker silence drives re-homing).
+func (h *Host) onControl(src netsim.Addr, m *rendezvous.Msg) {
+	if src == h.rdv {
+		h.brokerSeen = h.eng.Now()
+	}
+	if m.Kind == "pulse-ack" {
+		// The keepalive round trip. A broker that restarted answers with
+		// an unknown-session code: our registration is gone and must be
+		// re-asserted or lookups and connects toward us start failing.
+		if src == h.rdv && m.Code == rendezvous.CodeUnknownSession {
+			h.reregister()
+		}
+		return
+	}
 	if m.Kind == "punch-order" && m.Peer != nil {
 		h.startPunch(*m.Peer)
 		// A punch-order may double as the reply to our connect RPC; the

@@ -62,6 +62,11 @@ type Config struct {
 	// RendezvousPulsePeriod keeps the broker session (and its NAT
 	// mapping) alive.
 	RendezvousPulsePeriod sim.Duration
+	// BrokerTimeout declares the home broker dead when nothing has been
+	// heard from it (pulse acks, RPC replies, punch orders) for this
+	// long; the host then re-homes onto another broker of its candidate
+	// set (default 3 × RendezvousPulsePeriod).
+	BrokerTimeout sim.Duration
 
 	PunchTries    int
 	PunchInterval sim.Duration
@@ -91,6 +96,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RendezvousPulsePeriod <= 0 {
 		c.RendezvousPulsePeriod = 15 * sim.Second
+	}
+	if c.BrokerTimeout <= 0 {
+		c.BrokerTimeout = 3 * c.RendezvousPulsePeriod
 	}
 	if c.PunchTries <= 0 {
 		c.PunchTries = 10
@@ -218,6 +226,16 @@ type Host struct {
 	mapped   netsim.Addr
 	rdvTick  *sim.Ticker
 
+	// Broker failover state: the candidate broker set kept from join
+	// time (JoinAny) or pushed by the reconciler (NetworkSpec.Brokers),
+	// the brokers the last JoinAny-style election actually attempted,
+	// when the home broker was last heard, and whether a re-home or
+	// re-register is already in flight.
+	candidates   []netsim.Addr
+	joinAttempts []netsim.Addr
+	brokerSeen   sim.Time
+	recovering   bool
+
 	nextID   uint64
 	waiters  map[uint64]func(*rendezvous.Msg)
 	stunWait func(*stun.Message)
@@ -250,6 +268,14 @@ type Host struct {
 	PeerPolicyDrops uint64
 	// QuotaDrops counts outbound frames dropped by per-tenant metering.
 	QuotaDrops uint64
+	// Rehomes counts successful migrations to another broker after the
+	// home broker went silent; RehomeFailures counts elections that
+	// found no live candidate (retried on the next pulse tick);
+	// Reregisters counts re-joins to the SAME broker after it answered
+	// a pulse with "unknown session" (broker restarted, state lost).
+	Rehomes        uint64
+	RehomeFailures uint64
+	Reregisters    uint64
 	// floodByVNI / suppressByVNI break floods down per virtual network.
 	floodByVNI    map[uint32]uint64
 	suppressByVNI map[uint32]uint64
@@ -563,15 +589,96 @@ func (h *Host) Join(p *sim.Proc, rdv netsim.Addr) error {
 		h.mapped = resp.Rec.Mapped
 	}
 	h.joined = true
+	h.brokerSeen = h.eng.Now()
 
-	// 4. Keep the broker session (and its NAT mapping) alive.
+	// 4. Keep the broker session (and its NAT mapping) alive, and watch
+	// for home-broker silence: the broker acks every pulse, so a quiet
+	// period longer than BrokerTimeout means it is gone and the host
+	// must re-home onto a surviving candidate.
 	if h.rdvTick != nil {
 		h.rdvTick.Stop()
 	}
 	h.rdvTick = sim.NewTicker(h.eng, h.cfg.RendezvousPulsePeriod, func() {
 		h.sock.SendTo(h.rdv, rendezvous.Encode(&rendezvous.Msg{Kind: "pulse", Name: h.name}))
+		h.checkBrokerLiveness()
 	})
 	return nil
+}
+
+// checkBrokerLiveness triggers re-homing when the home broker has been
+// silent past BrokerTimeout and the host knows at least one other
+// candidate broker to elect.
+func (h *Host) checkBrokerLiveness() {
+	if !h.joined || h.recovering {
+		return
+	}
+	if h.eng.Now().Sub(h.brokerSeen) <= h.cfg.BrokerTimeout {
+		return
+	}
+	if len(h.survivors(h.rdv)) == 0 {
+		return
+	}
+	h.recovering = true
+	h.eng.Spawn("rehome-"+h.name, func(p *sim.Proc) {
+		defer func() { h.recovering = false }()
+		h.rehome(p)
+	})
+}
+
+// survivors is the candidate set minus one (dead) broker.
+func (h *Host) survivors(dead netsim.Addr) []netsim.Addr {
+	out := make([]netsim.Addr, 0, len(h.candidates))
+	for _, a := range h.candidates {
+		if a != dead {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// rehome runs the failover election: a JoinAny-style pass over the
+// surviving candidates — the broker just declared dead is excluded, not
+// retried — then re-registers under the host's current network scope.
+// The new home broker replicates the fresh record across the network's
+// broker set, which supersedes the stale replicas naming the dead
+// broker. Established tunnels are untouched: the data plane never
+// needed the broker. On failure (no live candidate either) the host is
+// re-pointed at the broker it declared dead, so the next pulse tick's
+// election keeps excluding exactly that broker instead of whichever
+// survivor happened to fail last.
+func (h *Host) rehome(p *sim.Proc) error {
+	dead := h.rdv
+	cands := h.survivors(dead)
+	if len(cands) == 0 {
+		h.RehomeFailures++
+		return ErrUnreachable
+	}
+	if err := h.electAndJoin(p, cands); err != nil {
+		// Join pointed h.rdv at each candidate it tried; restore the old
+		// home so pulses and the next election still target the broker
+		// actually declared dead.
+		h.rdv = dead
+		h.RehomeFailures++
+		return err
+	}
+	h.Rehomes++
+	return nil
+}
+
+// reregister re-joins the current home broker after it reported our
+// session unknown (it restarted and lost state). The scope (network,
+// VNI, attributes) rides along in the registration record.
+func (h *Host) reregister() {
+	if !h.joined || h.recovering {
+		return
+	}
+	h.recovering = true
+	h.eng.Spawn("reregister-"+h.name, func(p *sim.Proc) {
+		defer func() { h.recovering = false }()
+		if err := h.Join(p, h.rdv); err == nil {
+			h.Reregisters++
+		}
+	})
 }
 
 // record is the host's current registration record.
@@ -622,10 +729,26 @@ func (h *Host) LeaveVPC(p *sim.Proc) error {
 // JoinAny registers with the first reachable rendezvous server in the
 // list — the paper's "sending a joining message to at least one
 // rendezvous server". Servers are tried in order; a dead broker costs
-// one STUN/RPC timeout before the next is attempted.
+// one STUN/RPC timeout before the next is attempted. The list becomes
+// the host's standing candidate set for broker failover, and every
+// address actually attempted (in order, the winner last) is recorded in
+// JoinAttempts so a later re-home election can see — and skip — brokers
+// that were already found dead.
 func (h *Host) JoinAny(p *sim.Proc, rdvs []netsim.Addr) error {
+	h.candidates = append([]netsim.Addr(nil), rdvs...)
+	return h.electAndJoin(p, rdvs)
+}
+
+// electAndJoin is the election loop shared by JoinAny and rehome: it
+// records the attempted brokers but deliberately leaves the standing
+// candidate set alone, so a reconciler push (SetBrokerCandidates)
+// landing while an election is parked in simulated time is never
+// clobbered by a stale snapshot.
+func (h *Host) electAndJoin(p *sim.Proc, rdvs []netsim.Addr) error {
+	h.joinAttempts = h.joinAttempts[:0]
 	var lastErr error = ErrUnreachable
 	for _, addr := range rdvs {
+		h.joinAttempts = append(h.joinAttempts, addr)
 		if err := h.Join(p, addr); err == nil {
 			return nil
 		} else {
@@ -634,6 +757,29 @@ func (h *Host) JoinAny(p *sim.Proc, rdvs []netsim.Addr) error {
 	}
 	return lastErr
 }
+
+// JoinAttempts returns the brokers the last JoinAny election attempted,
+// in order; the final entry is the one that answered (or the last
+// failure when the whole election failed).
+func (h *Host) JoinAttempts() []netsim.Addr {
+	return append([]netsim.Addr(nil), h.joinAttempts...)
+}
+
+// SetBrokerCandidates installs the standing broker candidate set used
+// for failover — the reconciler pushes the addresses of the network's
+// declared broker set (NetworkSpec.Brokers) here on every Apply, so
+// re-homing respects the tenant's federation scope.
+func (h *Host) SetBrokerCandidates(addrs []netsim.Addr) {
+	h.candidates = append([]netsim.Addr(nil), addrs...)
+}
+
+// BrokerCandidates returns the standing failover candidate set.
+func (h *Host) BrokerCandidates() []netsim.Addr {
+	return append([]netsim.Addr(nil), h.candidates...)
+}
+
+// BrokerSilence reports how long ago the home broker was last heard.
+func (h *Host) BrokerSilence() sim.Duration { return h.eng.Now().Sub(h.brokerSeen) }
 
 // stun binding request over the main socket.
 func (h *Host) bindingRequest(p *sim.Proc, server netsim.Addr) (netsim.Addr, error) {

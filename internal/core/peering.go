@@ -211,6 +211,9 @@ func (h *Host) VPCCounters() *metrics.CounterSet {
 	c.Set("quota_drops", h.QuotaDrops)
 	c.Set("flooded_frames", h.FloodedFrames)
 	c.Set("suppressed_floods", h.SuppressedFloods)
+	c.Set("rehomes", h.Rehomes)
+	c.Set("rehome_failures", h.RehomeFailures)
+	c.Set("reregisters", h.Reregisters)
 	vnis := make([]uint32, 0, len(h.floodByVNI)+len(h.suppressByVNI))
 	seen := make(map[uint32]bool)
 	for vni := range h.floodByVNI {

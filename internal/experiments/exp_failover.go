@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"wavnet/internal/core"
+	"wavnet/internal/metrics"
+	"wavnet/internal/rendezvous"
+	"wavnet/internal/scenario"
+	"wavnet/internal/sim"
+	"wavnet/internal/vpc"
+)
+
+// FailoverRow is one point of the broker-failover sweep: one tenant
+// network spread over a broker count, with the first broker killed at a
+// configurable offset. It reports how fast the affected hosts re-homed
+// onto survivors and how connect success after the failover compares to
+// the same-broker baseline measured before the kill.
+type FailoverRow struct {
+	Brokers int
+	KillAt  sim.Duration // kill offset after the baseline sweep
+
+	// Re-homing: hosts homed on the killed broker, how many re-homed,
+	// and the time from the kill to their session appearing on a
+	// survivor (the control plane's failover latency).
+	Affected, Rehomed  int
+	RehomeMean, Rehome sim.Duration // mean and max
+	TTL                sim.Duration // the liveness TTL the max must stay under
+
+	// Connect success: same-broker pairs before the kill (baseline) vs
+	// every pair after the failover (the acceptance comparison).
+	BaseOK, BaseN int
+	PostOK, PostN int
+
+	// Cleanup proof, from the survivors' uniform counter export:
+	// replicas superseded by re-homing sessions plus replicas withdrawn
+	// for the dead broker (TTL expiry or liveness sweep).
+	Cleanup uint64
+	// Stray is the tenant's record count on the unnamed witness broker
+	// (must stay 0 through the whole episode).
+	Stray int
+}
+
+// FailoverResult reports the sweep.
+type FailoverResult struct {
+	Rows []FailoverRow
+}
+
+// String renders the table.
+func (r *FailoverResult) String() string {
+	t := table{
+		title: "Broker failover — time-to-re-home and post-failover connect success vs broker count and kill timing (beyond the paper)",
+		header: []string{"Brokers", "Kill at (s)", "Affected", "Re-homed",
+			"Re-home mean (s)", "Re-home max (s)", "TTL (s)",
+			"Baseline conn", "Post-failover conn", "Cleanup", "Stray"},
+	}
+	frac := func(ok, n int) string {
+		if n == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%d/%d", ok, n)
+	}
+	for _, row := range r.Rows {
+		t.addRow(
+			fmt.Sprintf("%d", row.Brokers),
+			fmt.Sprintf("%.0f", row.KillAt.Seconds()),
+			fmt.Sprintf("%d", row.Affected),
+			fmt.Sprintf("%d", row.Rehomed),
+			secs(row.RehomeMean),
+			secs(row.Rehome),
+			secs(row.TTL),
+			frac(row.BaseOK, row.BaseN),
+			frac(row.PostOK, row.PostN),
+			fmt.Sprintf("%d", row.Cleanup),
+			fmt.Sprintf("%d", row.Stray),
+		)
+	}
+	t.notes = append(t.notes,
+		"re-home: home broker killed -> host session visible on a surviving declared broker",
+		"baseline: same-broker connect success before the kill; post-failover covers every pair",
+		"cleanup: stale replicas superseded or withdrawn on the survivors (counter-backed)",
+		"stray: tenant records on the unnamed witness broker (must be 0)")
+	return t.String()
+}
+
+// Failover sweeps broker count at a fixed kill offset, then kill timing
+// at a fixed broker count.
+func Failover(o Options) (*FailoverResult, error) {
+	o = o.withDefaults()
+	type point struct {
+		brokers int
+		killAt  sim.Duration
+	}
+	points := []point{{2, 5 * sim.Second}, {3, 5 * sim.Second}, {4, 5 * sim.Second}}
+	if !o.Quick {
+		points = append(points, point{2, 20 * sim.Second}, point{2, 45 * sim.Second})
+	}
+	res := &FailoverResult{}
+	for _, pt := range points {
+		row, err := FailoverOnce(o, pt.brokers, pt.killAt)
+		if err != nil {
+			return nil, fmt.Errorf("failover %d brokers, kill at %v: %w", pt.brokers, pt.killAt, err)
+		}
+		res.Rows = append(res.Rows, *row)
+	}
+	return res, nil
+}
+
+// FailoverOnce measures one (broker count, kill offset) point.
+func FailoverOnce(o Options, brokers int, killAt sim.Duration) (*FailoverRow, error) {
+	o = o.withDefaults()
+	if brokers < 2 {
+		return nil, fmt.Errorf("failover needs at least 2 brokers to fail over between")
+	}
+	hostsPer := 2
+	total := brokers * hostsPer
+	w, err := scenario.Build(o.Seed, scenario.EmulatedWANSpecs(total, 100e6), nil)
+	if err != nil {
+		return nil, err
+	}
+	// Short keepalives keep the measured episode tractable; the ratios
+	// (detection at 3 pulses, TTL at 60 s) match the defaults.
+	w.HostCfg = core.Config{
+		RendezvousPulsePeriod: 5 * sim.Second,
+		BrokerTimeout:         15 * sim.Second,
+	}
+	bcfg := rendezvous.Config{SessionTTL: 60 * sim.Second}
+	names := make([]string, brokers)
+	servers := make([]*rendezvous.Server, brokers)
+	for i := range names {
+		names[i] = fmt.Sprintf("b%d", i)
+		s, err := w.AddBroker(names[i], bcfg)
+		if err != nil {
+			return nil, err
+		}
+		servers[i] = s
+	}
+	witness, err := w.AddBroker("witness", bcfg)
+	if err != nil {
+		return nil, err
+	}
+	key := func(i int) string { return fmt.Sprintf("pc%02d", i) }
+	home := func(i int) int { return i % brokers }
+	members := make([]string, total)
+	for i := range members {
+		members[i] = key(i)
+		if err := w.SetHome(key(i), names[home(i)]); err != nil {
+			return nil, err
+		}
+	}
+	spec := vpc.TenantSpec{
+		Tenant: "fo",
+		Networks: []vpc.NetworkSpec{{
+			Name: "fonet", CIDR: "10.90.0.0/24", StaticAddressing: true,
+			Members: members, Brokers: names,
+		}},
+	}
+	if _, err := w.ApplySync(spec); err != nil {
+		return nil, err
+	}
+	row := &FailoverRow{Brokers: brokers, KillAt: killAt, TTL: bcfg.SessionTTL}
+
+	// connectSweep tears down and re-brokers every pair pick() admits.
+	connectSweep := func(name string, pick func(i, j int) bool) (ok, n int) {
+		done := false
+		w.Eng.Spawn(name, func(p *sim.Proc) {
+			defer func() { done = true }()
+			for i := 0; i < total; i++ {
+				for j := i + 1; j < total; j++ {
+					if !pick(i, j) {
+						continue
+					}
+					a, b := w.M(key(i)).WAV, w.M(key(j)).WAV
+					a.Disconnect(key(j))
+					b.Disconnect(key(i))
+					n++
+					if _, err := a.ConnectTo(p, key(j)); err == nil {
+						ok++
+					}
+				}
+			}
+		})
+		for !done {
+			w.Eng.RunFor(5 * sim.Second)
+		}
+		return ok, n
+	}
+
+	// Baseline: same-broker pairs, before any fault.
+	row.BaseOK, row.BaseN = connectSweep("baseline", func(i, j int) bool {
+		return home(i) == home(j)
+	})
+
+	// The fault: kill broker 0 at the configured offset; watch every
+	// affected host for its session appearing on a survivor.
+	fi := w.Inject(scenario.KillBrokerAt(killAt, names[0]))
+	killTime := w.Eng.Now().Add(killAt)
+	affected := make([]string, 0, hostsPer)
+	for i := 0; i < total; i++ {
+		if home(i) == 0 {
+			affected = append(affected, key(i))
+		}
+	}
+	row.Affected = len(affected)
+	rehomedAt := make(map[string]sim.Time, len(affected))
+	probe := sim.NewTicker(w.Eng, 50*time.Millisecond, func() {
+		for _, k := range affected {
+			if _, seen := rehomedAt[k]; seen {
+				continue
+			}
+			for _, s := range servers[1:] {
+				if s.HasSession(k) {
+					rehomedAt[k] = w.Eng.Now()
+					break
+				}
+			}
+		}
+	})
+	budget := killAt + row.TTL + 30*sim.Second
+	for spent := sim.Duration(0); len(rehomedAt) < len(affected) && spent < budget; spent += sim.Second {
+		w.Eng.RunFor(sim.Second)
+	}
+	probe.Stop()
+	if fails := fi.Failures(); len(fails) != 0 {
+		return nil, fmt.Errorf("fault schedule: %v", fails)
+	}
+	var sum sim.Duration
+	for _, k := range affected {
+		at, ok := rehomedAt[k]
+		if !ok {
+			continue
+		}
+		row.Rehomed++
+		d := at.Sub(killTime)
+		sum += d
+		if d > row.Rehome {
+			row.Rehome = d
+		}
+	}
+	if row.Rehomed > 0 {
+		row.RehomeMean = sum / sim.Duration(row.Rehomed)
+	}
+
+	// Post-failover: every pair re-brokers through the survivors.
+	row.PostOK, row.PostN = connectSweep("post", func(i, j int) bool { return true })
+
+	cleanup := metrics.NewCounterSet()
+	for _, s := range servers[1:] {
+		cleanup.Merge(s.Counters())
+	}
+	row.Cleanup = cleanup.Get("replica_adopted") +
+		cleanup.Get("replica_dead_broker") + cleanup.Get("replica_expired")
+	row.Stray = witness.RecordsFor("fonet")
+	return row, nil
+}

@@ -72,6 +72,7 @@ func All() []Runner {
 		{"vpc", "VPC isolation & scale: overlapping tenants over one shared fabric (beyond the paper)", func(o Options) (fmt.Stringer, error) { return VPCScale(o) }},
 		{"peering", "VPC peering & quotas: policy-allowed routes and tenant rate limits (beyond the paper)", func(o Options) (fmt.Stringer, error) { return PeeringQuota(o) }},
 		{"federation", "Federated rendezvous: cross-broker lookup/connect vs broker count and replication lag (beyond the paper)", func(o Options) (fmt.Stringer, error) { return Federation(o) }},
+		{"failover", "Broker failover: time-to-re-home and connect success after a home-broker crash (beyond the paper)", func(o Options) (fmt.Stringer, error) { return Failover(o) }},
 	}
 }
 

@@ -1,0 +1,56 @@
+package experiments
+
+import "testing"
+
+// TestFailoverSmallScale runs the failover experiment's smallest point
+// and checks the acceptance properties: every host homed on the killed
+// broker re-homes within the liveness TTL, post-failover connect
+// success is no worse than the same-broker baseline, cleanup left a
+// counter trace, and the unnamed witness broker held zero tenant
+// records through the whole episode.
+func TestFailoverSmallScale(t *testing.T) {
+	row, err := FailoverOnce(quick(), 2, 5e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Affected == 0 || row.Rehomed != row.Affected {
+		t.Fatalf("re-homed %d/%d affected hosts", row.Rehomed, row.Affected)
+	}
+	if row.Rehome <= 0 || row.Rehome > row.TTL {
+		t.Fatalf("max time-to-re-home %v outside (0, %v]", row.Rehome, row.TTL)
+	}
+	if row.BaseN == 0 || row.PostN == 0 {
+		t.Fatalf("sweep degenerate: baseline %d, post %d pairs", row.BaseN, row.PostN)
+	}
+	baseRate := float64(row.BaseOK) / float64(row.BaseN)
+	postRate := float64(row.PostOK) / float64(row.PostN)
+	if postRate < baseRate {
+		t.Fatalf("post-failover connect success %.2f below same-broker baseline %.2f",
+			postRate, baseRate)
+	}
+	if row.Cleanup == 0 {
+		t.Fatal("no stale-replica cleanup was counted on the survivors")
+	}
+	if row.Stray != 0 {
+		t.Fatalf("witness broker holds %d tenant records, want 0", row.Stray)
+	}
+}
+
+// TestFailoverLaterKillStillConverges moves the kill later into the
+// steady state (a different phase of the pulse/refresh cycle); the
+// failover must converge all the same.
+func TestFailoverLaterKillStillConverges(t *testing.T) {
+	row, err := FailoverOnce(quick(), 2, 20e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Rehomed != row.Affected {
+		t.Fatalf("re-homed %d/%d affected hosts", row.Rehomed, row.Affected)
+	}
+	if row.Rehome > row.TTL {
+		t.Fatalf("max time-to-re-home %v beyond the %v TTL", row.Rehome, row.TTL)
+	}
+	if row.PostOK != row.PostN {
+		t.Fatalf("post-failover connects failed: %d/%d", row.PostOK, row.PostN)
+	}
+}

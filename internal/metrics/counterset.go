@@ -3,14 +3,18 @@ package metrics
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // CounterSet is an insertion-ordered collection of named event counters:
 // the uniform export format for data-plane statistics (VPC isolation
 // drops, per-VNI flood and suppression counts, quota drops), so
 // experiments render and aggregate them through one API instead of
-// poking subsystem struct fields.
+// poking subsystem struct fields. It is safe for concurrent use: the
+// simulation itself is single-threaded, but experiment drivers and the
+// chaos harness snapshot and Delta sets from helper goroutines.
 type CounterSet struct {
+	mu    sync.RWMutex
 	names []string
 	vals  map[string]uint64
 }
@@ -22,6 +26,8 @@ func NewCounterSet() *CounterSet {
 
 // Set assigns a counter's value, registering the name on first use.
 func (c *CounterSet) Set(name string, v uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.vals[name]; !ok {
 		c.names = append(c.names, name)
 	}
@@ -30,6 +36,8 @@ func (c *CounterSet) Set(name string, v uint64) {
 
 // Add increments a counter by v, registering the name on first use.
 func (c *CounterSet) Add(name string, v uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.vals[name]; !ok {
 		c.names = append(c.names, name)
 	}
@@ -37,44 +45,69 @@ func (c *CounterSet) Add(name string, v uint64) {
 }
 
 // Get returns a counter's value (0 when absent).
-func (c *CounterSet) Get(name string) uint64 { return c.vals[name] }
+func (c *CounterSet) Get(name string) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.vals[name]
+}
 
 // Has reports whether the counter was ever set.
 func (c *CounterSet) Has(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	_, ok := c.vals[name]
 	return ok
 }
 
 // Names returns the counter names in insertion order.
-func (c *CounterSet) Names() []string { return append([]string(nil), c.names...) }
+func (c *CounterSet) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]string(nil), c.names...)
+}
+
+// snapshot copies names and values under the read lock.
+func (c *CounterSet) snapshot() ([]string, map[string]uint64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := append([]string(nil), c.names...)
+	vals := make(map[string]uint64, len(c.vals))
+	for k, v := range c.vals {
+		vals[k] = v
+	}
+	return names, vals
+}
 
 // Delta returns a new set holding, for every counter of c, its value
 // minus prev's (0 when prev never saw the name). Experiments snapshot a
 // CounterSet before a measured phase and Delta it afterwards to report
 // only the phase's activity.
 func (c *CounterSet) Delta(prev *CounterSet) *CounterSet {
+	names, vals := c.snapshot()
 	out := NewCounterSet()
-	for _, name := range c.names {
-		out.Set(name, c.vals[name]-prev.Get(name))
+	for _, name := range names {
+		out.Set(name, vals[name]-prev.Get(name))
 	}
 	return out
 }
 
 // Merge adds every counter of other into c (summing shared names).
 func (c *CounterSet) Merge(other *CounterSet) {
-	for _, name := range other.names {
-		c.Add(name, other.vals[name])
+	names, vals := other.snapshot()
+	for _, name := range names {
+		c.Add(name, vals[name])
 	}
 }
 
 // String renders "name=value" pairs in insertion order.
 func (c *CounterSet) String() string {
+	names, vals := c.snapshot()
 	var b strings.Builder
-	for i, name := range c.names {
+	for i, name := range names {
 		if i > 0 {
 			b.WriteByte(' ')
 		}
-		fmt.Fprintf(&b, "%s=%d", name, c.vals[name])
+		fmt.Fprintf(&b, "%s=%d", name, vals[name])
 	}
 	return b.String()
 }

@@ -1,6 +1,9 @@
 package metrics
 
-import "testing"
+import (
+	"sync"
+	"testing"
+)
 
 func TestCounterSetBasics(t *testing.T) {
 	c := NewCounterSet()
@@ -50,5 +53,56 @@ func TestCounterSetDelta(t *testing.T) {
 	}
 	if before.Get("lookups") != 10 || after.Get("lookups") != 25 {
 		t.Fatal("inputs mutated")
+	}
+}
+
+// TestCounterSetDeltaConcurrent hammers one set from concurrent writers
+// while readers snapshot Deltas, Merges and renders against it. The
+// simulation itself is single-threaded, but every experiment driver now
+// leans on Delta around measured phases (and the chaos harness reads
+// counters from probe tickers), so CounterSet must hold up under the
+// race detector — run with -race to verify.
+func TestCounterSetDeltaConcurrent(t *testing.T) {
+	c := NewCounterSet()
+	base := NewCounterSet()
+	base.Set("shared", 1)
+	const writers, rounds = 8, 500
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < rounds; j++ {
+				c.Add("shared", 1)
+				c.Add(string(rune('a'+i)), 2)
+				c.Set(string(rune('A'+i)), uint64(j))
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < rounds; j++ {
+				d := c.Delta(base)
+				if d.Get("shared") > writers*rounds {
+					t.Errorf("delta over-counted: %d", d.Get("shared"))
+					return
+				}
+				_ = d.String()
+				agg := NewCounterSet()
+				agg.Merge(c)
+				_ = agg.Names()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("shared"); got != writers*rounds {
+		t.Fatalf("lost updates: shared = %d, want %d", got, writers*rounds)
+	}
+	final := c.Delta(base)
+	if got := final.Get("shared"); got != writers*rounds-1 {
+		t.Fatalf("final delta = %d, want %d", got, writers*rounds-1)
 	}
 }

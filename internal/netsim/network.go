@@ -30,12 +30,17 @@ type Network struct {
 	// JitterFrac adds uniform ±frac×latency noise to each WAN transit.
 	JitterFrac float64
 
+	// partitions holds site pairs whose WAN path is currently severed
+	// (fault injection); packets between them are silently dropped.
+	partitions map[[2]int]bool
+
 	// Stats.
-	Delivered   uint64
-	LostWAN     uint64
-	NoRoute     uint64
-	QueueDrops  uint64
-	deliverHook func(*Packet)
+	Delivered      uint64
+	LostWAN        uint64
+	NoRoute        uint64
+	QueueDrops     uint64
+	PartitionDrops uint64
+	deliverHook    func(*Packet)
 }
 
 // New creates an empty network on the given engine.
@@ -82,6 +87,32 @@ func (n *Network) Latency(a, b *Site) sim.Duration {
 // Sites returns all registered sites.
 func (n *Network) Sites() []*Site { return n.sites }
 
+// sitePair normalizes an unordered site-index pair.
+func sitePair(a, b *Site) [2]int {
+	i, j := a.Index, b.Index
+	if i > j {
+		i, j = j, i
+	}
+	return [2]int{i, j}
+}
+
+// Partition severs the WAN path between two sites: packets in either
+// direction are dropped (and counted in PartitionDrops) until Heal.
+// Intra-site and LAN traffic is unaffected — this models a wide-area
+// routing failure, not a host crash.
+func (n *Network) Partition(a, b *Site) {
+	if n.partitions == nil {
+		n.partitions = make(map[[2]int]bool)
+	}
+	n.partitions[sitePair(a, b)] = true
+}
+
+// Heal restores the WAN path between two partitioned sites.
+func (n *Network) Heal(a, b *Site) { delete(n.partitions, sitePair(a, b)) }
+
+// Partitioned reports whether the WAN path between two sites is severed.
+func (n *Network) Partitioned(a, b *Site) bool { return n.partitions[sitePair(a, b)] }
+
 // Hosts returns all hosts in creation order.
 func (n *Network) Hosts() []*Host { return n.hosts }
 
@@ -114,9 +145,14 @@ func (n *Network) NewPublicHost(name string, site *Site, ip IP, rateBps float64,
 }
 
 // AddAlias routes an additional public IP to an existing host (used by
-// the STUN server's alternate address).
+// the STUN server's alternate address). Re-adding an alias the host
+// already owns is a no-op, so services can be restarted on the same
+// machine after a crash.
 func (n *Network) AddAlias(h *Host, ip IP) {
-	if _, dup := n.byIP[ip]; dup {
+	if owner, dup := n.byIP[ip]; dup {
+		if owner == h {
+			return
+		}
 		panic(fmt.Sprintf("netsim: duplicate alias IP %s", ip))
 	}
 	h.aliases = append(h.aliases, ip)
@@ -236,6 +272,10 @@ func (n *Network) wanTransit(from *Host, pkt *Packet) {
 	dst, ok := n.byIP[pkt.Dst.IP]
 	if !ok {
 		n.NoRoute++
+		return
+	}
+	if n.partitions[sitePair(from.site, dst.site)] {
+		n.PartitionDrops++
 		return
 	}
 	if !from.up.Send(pkt.Wire, func() {

@@ -29,7 +29,12 @@ type replica struct {
 // Federate registers a trusted peer broker. Broker-to-broker messages
 // (replication, withdrawal, forwarded connects, peering propagation)
 // from addresses that were never federated are rejected and counted.
-func (s *Server) Federate(peer netsim.Addr) { s.federated[peer] = true }
+// Federating (or re-federating) a peer also resets its liveness clock,
+// granting a fresh BrokerTTL of grace before it can be declared dead.
+func (s *Server) Federate(peer netsim.Addr) {
+	s.federated[peer] = true
+	s.peerSeen[peer] = s.eng.Now()
+}
 
 // Federated reports whether the address is a trusted peer broker.
 func (s *Server) Federated(peer netsim.Addr) bool { return s.federated[peer] }
@@ -172,6 +177,21 @@ func (s *Server) onReplicate(src netsim.Addr, m *Msg) {
 		s.RejectedFederation++
 		return
 	}
+	// The mirror of onJoin's replica adoption: a federated peer claiming
+	// the host homes with IT supersedes our stale session of the same
+	// name — without this, a host that re-homed away (e.g. partitioned
+	// from us but not from the federation) would keep being answered
+	// with the dead-end session for a full TTL, shadowing the fresh
+	// replica in lookups and connects. Only a session quiet for more
+	// than the refresh interval is superseded: a host truly homed here
+	// pulses far more often, so a live session can never be evicted by
+	// a peer's (possibly stale) refresh replication.
+	if ses, ok := s.sessions[m.Rec.Name]; ok && ses.rec.Net == m.Rec.Net &&
+		m.Rec.Server != s.Addr() &&
+		ses.lastSeen < s.eng.Now().Add(-s.cfg.SessionTTL/2) {
+		delete(s.sessions, m.Rec.Name)
+		s.SessionsSuperseded++
+	}
 	s.ReplicationsIn++
 	s.replicas[m.Rec.Name] = &replica{rec: *m.Rec, lastSeen: s.eng.Now()}
 }
@@ -198,6 +218,54 @@ func (s *Server) expireReplicas(cutoff sim.Time) {
 		if rep.lastSeen < cutoff {
 			delete(s.replicas, name)
 			s.ReplicaExpiries++
+		}
+	}
+}
+
+// ---- broker liveness ----
+
+// pulsePeers sends the broker liveness keepalive to every federated
+// peer (the sender side of dead-broker detection).
+func (s *Server) pulsePeers() {
+	for _, peer := range s.FederatedPeers() {
+		s.BrokerPulsesOut++
+		s.sock.SendTo(peer, Encode(&Msg{Kind: kindBrokerPulse}))
+	}
+}
+
+// onBrokerPulse counts an inbound keepalive; the liveness clock itself
+// was already bumped centrally in onPacket for any federated source.
+func (s *Server) onBrokerPulse(src netsim.Addr) {
+	if !s.federated[src] {
+		s.RejectedFederation++
+		return
+	}
+	s.BrokerPulsesIn++
+}
+
+// brokerDead reports whether a federated peer has been silent past the
+// liveness TTL. Addresses that were never federated (including this
+// broker's own) are never "dead": staleness only makes sense for peers
+// we expect keepalives from.
+func (s *Server) brokerDead(peer netsim.Addr) bool {
+	if !s.federated[peer] {
+		return false
+	}
+	return s.peerSeen[peer] < s.eng.Now().Add(-s.cfg.BrokerTTL)
+}
+
+// expireDeadBrokers withdraws the replicas of federated peers that went
+// silent past the liveness TTL: their hosts are re-homing onto the
+// survivors, and a record naming a dead home broker would keep steering
+// forwarded connects into a black hole. The peer stays federated — if
+// it restarts at the same address it is trusted (and pulsing) again.
+func (s *Server) expireDeadBrokers() {
+	now := s.eng.Now()
+	cutoff := now.Add(-s.cfg.BrokerTTL)
+	for name, rep := range s.replicas {
+		if s.federated[rep.rec.Server] && s.peerSeen[rep.rec.Server] < cutoff {
+			delete(s.replicas, name)
+			s.DeadBrokerReplicaDrops++
 		}
 	}
 }
@@ -332,10 +400,20 @@ func (s *Server) Counters() *metrics.CounterSet {
 	c.Set("peer_revokes_out", s.PeerRevokesOut)
 	c.Set("peer_revokes_in", s.PeerRevokesIn)
 	c.Set("session_expiries", s.SessionExpiries)
-	c.Set("replica_expiries", s.ReplicaExpiries)
+	c.Set("replica_expired", s.ReplicaExpiries)
 	c.Set("rejected_federation", s.RejectedFederation)
+	c.Set("broker_pulses_out", s.BrokerPulsesOut)
+	c.Set("broker_pulses_in", s.BrokerPulsesIn)
+	c.Set("replica_dead_broker", s.DeadBrokerReplicaDrops)
+	c.Set("replica_adopted", s.ReplicaAdoptions)
+	c.Set("session_superseded", s.SessionsSuperseded)
+	c.Set("stale_fwd_rejects", s.StaleFwdRejects)
 	return c
 }
+
+// PeerDead reports whether a federated peer broker has been silent past
+// the liveness TTL (diagnostics and chaos assertions).
+func (s *Server) PeerDead(peer netsim.Addr) bool { return s.brokerDead(peer) }
 
 // FederatedPeers lists the trusted peer brokers, sorted for stable
 // iteration in tests and diagnostics.

@@ -28,6 +28,11 @@ const DefaultPort = 4342
 // has not converged here yet — so clients may back off and retry.
 const CodeNotFound = "not-found"
 
+// CodeUnknownSession marks a pulse-ack from a broker that holds no
+// session for the pulsing host: the broker restarted (or the session
+// expired) and the host must re-register to become reachable again.
+const CodeUnknownSession = "unknown-session"
+
 // HostRecord is what the rendezvous layer knows about a registered host.
 type HostRecord struct {
 	Name   string      `json:"name"`
@@ -51,6 +56,7 @@ const (
 	kindJoin        = "join"
 	kindJoinAck     = "join-ack"
 	kindPulse       = "pulse"
+	kindPulseAck    = "pulse-ack" // broker -> host: session keepalive confirmed (or unknown)
 	kindLookup      = "lookup"
 	kindLookupReply = "lookup-reply"
 	kindConnect     = "connect"     // host -> its broker: connect me to <name>
@@ -72,6 +78,7 @@ const (
 	kindFwdConnectAck = "fwd-connect-ack" // target's home broker -> requester's broker
 	kindPeerAllow     = "peer-allow"      // broker -> federated broker: peering allowance propagation
 	kindPeerRevoke    = "peer-revoke"     //
+	kindBrokerPulse   = "broker-pulse"    // broker -> federated broker: liveness keepalive
 )
 
 // Msg is the JSON envelope for all rendezvous traffic (it always starts
@@ -147,6 +154,17 @@ type Config struct {
 	// always immediate. The federation experiment sweeps this to measure
 	// how replication lag delays cross-broker visibility.
 	ReplicateInterval sim.Duration
+
+	// BrokerPulseInterval spaces the liveness keepalives this broker
+	// sends to its federated peers (default SessionTTL/4). Any message
+	// from a peer counts as liveness; the pulse only covers idle links.
+	BrokerPulseInterval sim.Duration
+	// BrokerTTL is the federation's liveness TTL: a federated peer
+	// silent for longer is considered dead — its replicas are withdrawn
+	// here and forwarded connects toward it are refused as transient
+	// not-found so requesters retry after the targets re-home (default
+	// SessionTTL).
+	BrokerTTL sim.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -167,6 +185,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RelayIdle <= 0 {
 		c.RelayIdle = 120 * sim.Second
+	}
+	if c.BrokerPulseInterval <= 0 {
+		c.BrokerPulseInterval = c.SessionTTL / 4
+	}
+	if c.BrokerTTL <= 0 {
+		c.BrokerTTL = c.SessionTTL
 	}
 	return c
 }
@@ -216,6 +240,17 @@ type Server struct {
 	netBrokers map[string][]netsim.Addr
 	replicas   map[string]*replica
 	dirty      map[string]bool
+	// peerSeen is the liveness clock per federated peer: bumped by any
+	// message from it (broker pulses cover idle links). A peer silent
+	// past BrokerTTL is dead — see expireDeadBrokers.
+	peerSeen map[netsim.Addr]sim.Time
+
+	// Tickers, kept so Close can stop them (a closed broker must not
+	// keep publishing or pulsing from beyond the grave).
+	refreshTick *sim.Ticker
+	replTick    *sim.Ticker
+	brokerTick  *sim.Ticker
+	closed      bool
 
 	nextID uint64
 
@@ -231,6 +266,17 @@ type Server struct {
 	PeerAllowsOut, PeerAllowsIn      uint64
 	PeerRevokesOut, PeerRevokesIn    uint64
 	SessionExpiries, ReplicaExpiries uint64
+	// Broker-failover stats: liveness keepalives exchanged, replicas
+	// dropped because their home broker went silent past the liveness
+	// TTL, replicas superseded by the host re-homing HERE, stale local
+	// sessions superseded by a peer's replica of a host that re-homed
+	// AWAY, and forwarded connects refused because the target's home
+	// broker is dead.
+	BrokerPulsesOut, BrokerPulsesIn uint64
+	DeadBrokerReplicaDrops          uint64
+	ReplicaAdoptions                uint64
+	SessionsSuperseded              uint64
+	StaleFwdRejects                 uint64
 	// RejectedFederation counts broker-to-broker messages refused because
 	// the source is not a federated peer or the record's network is not
 	// served here (the scope check).
@@ -253,6 +299,7 @@ func NewServer(host *netsim.Host, stunAltIP netsim.IP, cfg Config) (*Server, err
 		netBrokers:   make(map[string][]netsim.Addr),
 		replicas:     make(map[string]*replica),
 		dirty:        make(map[string]bool),
+		peerSeen:     make(map[netsim.Addr]sim.Time),
 		locator:      NewLocator(),
 	}
 	sock, err := host.BindUDP(cfg.Port, s.onPacket)
@@ -273,7 +320,7 @@ func NewServer(host *netsim.Host, stunAltIP netsim.IP, cfg Config) (*Server, err
 	// Republish live session records into the CAN (and re-replicate them
 	// to federated brokers) at half the TTL so they outlive their initial
 	// put as long as the host keeps pulsing.
-	sim.NewTicker(s.eng, cfg.SessionTTL/2, func() {
+	s.refreshTick = sim.NewTicker(s.eng, cfg.SessionTTL/2, func() {
 		s.expire()
 		for _, ses := range s.sessions {
 			s.publish(ses.rec)
@@ -281,8 +328,11 @@ func NewServer(host *netsim.Host, stunAltIP netsim.IP, cfg Config) (*Server, err
 		}
 	})
 	if cfg.ReplicateInterval > 0 {
-		sim.NewTicker(s.eng, cfg.ReplicateInterval, func() { s.flushReplication() })
+		s.replTick = sim.NewTicker(s.eng, cfg.ReplicateInterval, func() { s.flushReplication() })
 	}
+	// Broker-to-broker liveness keepalives: cover idle federation links
+	// so peer death is detected even with no replication traffic.
+	s.brokerTick = sim.NewTicker(s.eng, cfg.BrokerPulseInterval, func() { s.pulsePeers() })
 	return s, nil
 }
 
@@ -325,6 +375,30 @@ func (s *Server) Locator() *Locator { return s.locator }
 // because the data plane never touches the broker.
 func (s *Server) Shutdown() { s.sock.Close() }
 
+// Close crashes the whole broker machine's service set: the broker
+// socket, the STUN service, the CAN overlay node and every ticker stop.
+// All session, replica and CAN state is lost; a fresh Server may rebind
+// the same host and ports afterwards (scenario.World.RestartBroker).
+// The chaos harness uses this as the kill primitive: unlike Shutdown,
+// nothing keeps answering STUN or republishing from the dead broker.
+func (s *Server) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.refreshTick.Stop()
+	if s.replTick != nil {
+		s.replTick.Stop()
+	}
+	s.brokerTick.Stop()
+	s.sock.Close()
+	s.can.Close()
+	s.stun.Close()
+}
+
+// Closed reports whether the broker was killed via Close.
+func (s *Server) Closed() bool { return s.closed }
+
 // Sessions reports the number of live host sessions.
 func (s *Server) Sessions() int {
 	s.expire()
@@ -342,6 +416,7 @@ func (s *Server) expire() {
 		}
 	}
 	s.expireReplicas(cutoff)
+	s.expireDeadBrokers()
 	for id, pi := range s.pendingIntro {
 		if pi.created < cutoff {
 			delete(s.pendingIntro, id)
@@ -359,6 +434,11 @@ func (s *Server) onPacket(pkt netsim.Packet) {
 	m, err := Decode(pkt.Payload)
 	if err != nil {
 		return
+	}
+	// Any message from a federated peer proves it alive; the dedicated
+	// broker-pulse only covers otherwise idle links.
+	if s.federated[pkt.Src] {
+		s.peerSeen[pkt.Src] = s.eng.Now()
 	}
 	switch m.Kind {
 	case kindJoin:
@@ -387,6 +467,8 @@ func (s *Server) onPacket(pkt netsim.Packet) {
 		s.onIntroAck(pkt.Src, m) // same resolution path as a CAN introduction
 	case kindPeerAllow, kindPeerRevoke:
 		s.onPeerPropagation(pkt.Src, m)
+	case kindBrokerPulse:
+		s.onBrokerPulse(pkt.Src)
 	case kindError:
 		// A broker-to-broker failure (introduce or fwd-connect refused at
 		// the remote end): resolve the pending introduction so the
@@ -412,6 +494,14 @@ func (s *Server) onJoin(src netsim.Addr, m *Msg) {
 	// pull the stale record out of the old network's federation.
 	if prev, ok := s.sessions[rec.Name]; ok && prev.rec.Net != rec.Net {
 		s.withdraw(prev.rec)
+	}
+	// A host re-homing HERE supersedes the replica its old broker pushed:
+	// the live session is authoritative, and keeping the replica would
+	// leave a record naming the (likely dead) old home as forwarding
+	// target.
+	if rep, ok := s.replicas[rec.Name]; ok && rep.rec.Net == rec.Net {
+		delete(s.replicas, rec.Name)
+		s.ReplicaAdoptions++
 	}
 	s.sessions[rec.Name] = &session{rec: rec, lastSeen: s.eng.Now()}
 	s.publish(rec)
@@ -444,12 +534,21 @@ func namePoint(name string, dims int) can.Point {
 	return p
 }
 
+// onPulse refreshes the session and acknowledges, so hosts can tell a
+// live broker from a dead one (home-broker silence triggers re-homing).
+// A pulse for a session this broker does not hold is answered with
+// CodeUnknownSession: the broker restarted and lost its state, and the
+// host must re-register to become reachable again.
 func (s *Server) onPulse(src netsim.Addr, m *Msg) {
 	s.Pulses++
-	if ses, ok := s.sessions[m.Name]; ok {
-		ses.lastSeen = s.eng.Now()
-		ses.rec.Mapped = src
+	ses, ok := s.sessions[m.Name]
+	if !ok {
+		s.reply(src, &Msg{Kind: kindPulseAck, Name: m.Name, Code: CodeUnknownSession})
+		return
 	}
+	ses.lastSeen = s.eng.Now()
+	ses.rec.Mapped = src
+	s.reply(src, &Msg{Kind: kindPulseAck, Name: m.Name})
 }
 
 func (s *Server) onRTTReport(m *Msg) {
@@ -603,6 +702,16 @@ func (s *Server) onConnect(src netsim.Addr, m *Msg) {
 	if rep, held := s.replicas[target]; held {
 		if !s.netsLinked(rep.rec.Net, reqRec.Net) {
 			s.reply(src, &Msg{Kind: kindError, ID: m.ID, Error: "cross-tenant connect refused"})
+			return
+		}
+		if s.brokerDead(rep.rec.Server) {
+			// The replica is stale: its home broker stopped answering.
+			// Refuse rather than forward into a black hole — as a
+			// transient not-found, because the target re-homes onto a
+			// surviving broker and the retry will find the fresh record.
+			s.StaleFwdRejects++
+			s.reply(src, &Msg{Kind: kindError, ID: m.ID, Code: CodeNotFound,
+				Error: "home broker of " + target + " unresponsive"})
 			return
 		}
 		s.FwdConnectsOut++

@@ -101,6 +101,16 @@ func (m *Machine) Dom0() *ipstack.Stack {
 // PrimaryBroker is the name of the rendezvous broker Build creates.
 const PrimaryBroker = "rdv"
 
+// brokerSite is the immutable placement of one broker: the machine it
+// runs on, its site, STUN alternate IP and config — everything needed
+// to restart a fresh server there after a kill.
+type brokerSite struct {
+	host *netsim.Host
+	site *netsim.Site
+	alt  netsim.IP
+	cfg  rendezvous.Config
+}
+
 // World is a built scenario.
 type World struct {
 	Eng      *sim.Engine
@@ -110,11 +120,19 @@ type World struct {
 	Machines []*Machine
 	byKey    map[string]*Machine
 
+	// HostCfg is the template config for WAVNet hosts the world creates
+	// (joinHosts, ResolveHost); per-machine attributes override Attrs.
+	// Set it before WAVNetUp/Apply — chaos tests use it to shorten pulse
+	// periods and broker timeouts.
+	HostCfg core.Config
+
 	// Brokers are the world's rendezvous servers in creation order; all
 	// are mutually federated, but records replicate only within each
 	// network's declared broker set.
 	Brokers      []*rendezvous.Server
 	brokerByName map[string]*rendezvous.Server
+	brokerSites  map[string]*brokerSite
+	deadBrokers  map[string]bool
 	// netFed is the applied federation per network: the broker names
 	// serving it (absent = primary only).
 	netFed map[string][]string
@@ -142,6 +160,8 @@ func Build(seed int64, specs []Spec, overrides map[[2]string]sim.Duration) (*Wor
 		Eng:          sim.NewEngine(seed),
 		byKey:        make(map[string]*Machine),
 		brokerByName: make(map[string]*rendezvous.Server),
+		brokerSites:  make(map[string]*brokerSite),
+		deadBrokers:  make(map[string]bool),
 		netFed:       make(map[string][]string),
 		physPort:     4700,
 	}
@@ -157,6 +177,9 @@ func Build(seed int64, specs []Spec, overrides map[[2]string]sim.Duration) (*Wor
 	w.Rdv = rdv
 	w.Brokers = []*rendezvous.Server{rdv}
 	w.brokerByName[PrimaryBroker] = rdv
+	w.brokerSites[PrimaryBroker] = &brokerSite{
+		host: rdvHost, site: w.Hub, alt: netsim.MustParseIP("50.0.0.2"), cfg: rendezvous.Config{},
+	}
 
 	sites := make([]*netsim.Site, len(specs))
 	for i, sp := range specs {
@@ -212,9 +235,10 @@ func (w *World) AddBroker(name string, cfg rendezvous.Config) (*rendezvous.Serve
 		return nil, fmt.Errorf("scenario: broker address space exhausted")
 	}
 	site := w.Net.NewSite("hub-" + name)
+	alt := netsim.MakeIP(50, 0, byte(n), 2)
 	host := w.Net.NewPublicHost("rdv-"+name, site,
 		netsim.MakeIP(50, 0, byte(n), 1), 1e9, 100*time.Microsecond)
-	s, err := rendezvous.NewServer(host, netsim.MakeIP(50, 0, byte(n), 2), cfg)
+	s, err := rendezvous.NewServer(host, alt, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -225,7 +249,169 @@ func (w *World) AddBroker(name string, cfg rendezvous.Config) (*rendezvous.Serve
 	}
 	w.Brokers = append(w.Brokers, s)
 	w.brokerByName[name] = s
+	w.brokerSites[name] = &brokerSite{host: host, site: site, alt: alt, cfg: cfg}
 	return s, nil
+}
+
+// ---- broker failover: kill, restart, partition ----
+
+// KillBroker crashes a named broker: its broker socket, STUN service
+// and CAN node close and all state (sessions, replicas, CAN index) is
+// lost. Hosts homed there detect the silence and re-home onto another
+// broker of their network's declared set; surviving brokers withdraw
+// its replicas after the liveness TTL. The broker can come back with
+// RestartBroker.
+func (w *World) KillBroker(name string) error {
+	s, ok := w.brokerByName[name]
+	if !ok {
+		return fmt.Errorf("scenario: unknown broker %q", name)
+	}
+	if w.deadBrokers[name] {
+		return fmt.Errorf("scenario: broker %q is already dead", name)
+	}
+	s.Close()
+	w.deadBrokers[name] = true
+	return nil
+}
+
+// RestartBroker brings a killed broker back on the same machine and
+// addresses, with empty state (crash-restart semantics: no sessions, no
+// replicas, a fresh CAN). It re-federates mutually with every live
+// broker and re-installs the replication sets of the networks whose
+// specs name it; home brokers re-replicate live records on their next
+// refresh tick, and hosts that kept pulsing re-register when the fresh
+// broker answers their pulse with an unknown-session code.
+func (w *World) RestartBroker(name string) (*rendezvous.Server, error) {
+	info, ok := w.brokerSites[name]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown broker %q", name)
+	}
+	if !w.deadBrokers[name] {
+		return nil, fmt.Errorf("scenario: broker %q is not dead", name)
+	}
+	s, err := rendezvous.NewServer(info.host, info.alt, info.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: restart %q: %w", name, err)
+	}
+	s.Bootstrap()
+	delete(w.deadBrokers, name)
+	for other, os := range w.brokerByName {
+		if other == name || w.deadBrokers[other] {
+			continue
+		}
+		os.Federate(s.Addr())
+		s.Federate(os.Addr())
+	}
+	for i, old := range w.Brokers {
+		if old == w.brokerByName[name] {
+			w.Brokers[i] = s
+		}
+	}
+	w.brokerByName[name] = s
+	if name == PrimaryBroker {
+		w.Rdv = s
+	}
+	for net, names := range w.netFed {
+		for _, b := range names {
+			if b != name {
+				continue
+			}
+			peers := make([]netsim.Addr, 0, len(names)-1)
+			for _, other := range names {
+				if other != name {
+					peers = append(peers, w.brokerByName[other].Addr())
+				}
+			}
+			s.SetNetBrokers(net, peers)
+		}
+	}
+	return s, nil
+}
+
+// BrokerDead reports whether a broker is currently killed.
+func (w *World) BrokerDead(name string) bool { return w.deadBrokers[name] }
+
+// CurrentHome scans the live brokers for the machine's session and
+// returns the broker actually holding it now — after a failover this
+// differs from the declared home (SetHome). Scan order follows broker
+// creation order for determinism.
+func (w *World) CurrentHome(key string) (string, bool) {
+	for _, s := range w.Brokers {
+		name := w.brokerName(s)
+		if name == "" || w.deadBrokers[name] {
+			continue
+		}
+		if s.HasSession(key) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+func (w *World) brokerName(s *rendezvous.Server) string {
+	for name, b := range w.brokerByName {
+		if b == s {
+			return name
+		}
+	}
+	return ""
+}
+
+// siteOf resolves a broker name or machine key to its site (for
+// partition faults).
+func (w *World) siteOf(name string) (*netsim.Site, error) {
+	if info, ok := w.brokerSites[name]; ok {
+		return info.site, nil
+	}
+	if m, ok := w.byKey[name]; ok {
+		return m.Phys.Site(), nil
+	}
+	return nil, fmt.Errorf("scenario: unknown broker or machine %q", name)
+}
+
+// Partition severs the WAN path between the sites of two named
+// endpoints (broker names or machine keys) until Heal. Traffic in both
+// directions is dropped; everything else keeps flowing.
+func (w *World) Partition(a, b string) error {
+	sa, err := w.siteOf(a)
+	if err != nil {
+		return err
+	}
+	sb, err := w.siteOf(b)
+	if err != nil {
+		return err
+	}
+	w.Net.Partition(sa, sb)
+	return nil
+}
+
+// Heal restores the WAN path between two partitioned endpoints.
+func (w *World) Heal(a, b string) error {
+	sa, err := w.siteOf(a)
+	if err != nil {
+		return err
+	}
+	sb, err := w.siteOf(b)
+	if err != nil {
+		return err
+	}
+	w.Net.Heal(sa, sb)
+	return nil
+}
+
+// BrokerAddr implements vpc.Fabric: the dial address of a named broker
+// ("" names the primary). Dead brokers still resolve — their address is
+// a valid candidate again after RestartBroker, and hosts skip them
+// while they stay down.
+func (w *World) BrokerAddr(name string) (netsim.Addr, bool) {
+	if name == "" {
+		name = PrimaryBroker
+	}
+	s, ok := w.brokerByName[name]
+	if !ok {
+		return netsim.Addr{}, false
+	}
+	return s.Addr(), true
 }
 
 // Broker resolves a broker by name (PrimaryBroker is always present).
@@ -343,6 +529,14 @@ func EmulatedWANSpecs(n int, wanBps float64) []Spec {
 	return specs
 }
 
+// hostConfig derives one machine's WAVNet host config from the world's
+// template, with the machine's resource attributes layered on.
+func (w *World) hostConfig(m *Machine) core.Config {
+	cfg := w.HostCfg
+	cfg.Attrs = m.Spec.Attrs
+	return cfg
+}
+
 // joinHosts creates WAVNet hosts on the machines that lack one and
 // registers them with the rendezvous server concurrently, optionally
 // creating their default-LAN Dom0 stacks. It drives the engine.
@@ -353,7 +547,7 @@ func (w *World) joinHosts(ms []*Machine, withDom0 bool) error {
 		if m.WAV != nil {
 			continue
 		}
-		h, err := core.NewHost(m.Phys, m.Key, core.Config{Attrs: m.Spec.Attrs})
+		h, err := core.NewHost(m.Phys, m.Key, w.hostConfig(m))
 		if err != nil {
 			return err
 		}
@@ -449,7 +643,7 @@ func (w *World) ResolveHost(p *sim.Proc, key string) (*core.Host, error) {
 		return nil, fmt.Errorf("scenario: unknown machine %q", key)
 	}
 	if m.WAV == nil {
-		h, err := core.NewHost(m.Phys, m.Key, core.Config{Attrs: m.Spec.Attrs})
+		h, err := core.NewHost(m.Phys, m.Key, w.hostConfig(m))
 		if err != nil {
 			return nil, err
 		}

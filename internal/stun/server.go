@@ -12,6 +12,7 @@ type Server struct {
 	host    *netsim.Host
 	ip, ip2 netsim.IP
 	p1, p2  uint16
+	socks   []*netsim.UDPSocket
 
 	Requests uint64
 }
@@ -23,11 +24,21 @@ func NewServer(host *netsim.Host, altIP netsim.IP, p1, p2 uint16) (*Server, erro
 	host.Network().AddAlias(host, altIP)
 	for _, port := range []uint16{p1, p2} {
 		port := port
-		if _, err := host.BindUDP(port, func(pkt netsim.Packet) { s.serve(pkt) }); err != nil {
+		sock, err := host.BindUDP(port, func(pkt netsim.Packet) { s.serve(pkt) })
+		if err != nil {
 			return nil, err
 		}
+		s.socks = append(s.socks, sock)
 	}
 	return s, nil
+}
+
+// Close releases the server's ports so a restarted service can rebind
+// them; the alternate-IP alias stays with the host.
+func (s *Server) Close() {
+	for _, sock := range s.socks {
+		sock.Close()
+	}
 }
 
 // PrimaryAddr returns the address clients should first contact.

@@ -13,6 +13,7 @@ import (
 
 	"wavnet/internal/core"
 	"wavnet/internal/ether"
+	"wavnet/internal/netsim"
 	"wavnet/internal/sim"
 )
 
@@ -39,6 +40,12 @@ type Fabric interface {
 	// exactly those brokers. An empty list withdraws the network from
 	// the federation (primary broker only).
 	ConfigureNetFederation(net string, brokers []string) error
+	// BrokerAddr resolves a broker name to the address hosts dial; the
+	// empty name resolves the fabric's primary broker. The reconciler
+	// pushes these addresses to member hosts as their failover candidate
+	// set, so re-homing after a broker death stays inside the network's
+	// declared broker set.
+	BrokerAddr(name string) (netsim.Addr, bool)
 }
 
 // tenantState is the reconciler's memory of what it last applied for a
@@ -278,6 +285,30 @@ func (mg *Manager) Reconcile(p *sim.Proc, spec TenantSpec, fab Fabric) (*ApplyRe
 				return rep, fmt.Errorf("vpc: admit %s into %s: %w", key, ns.Name, err)
 			}
 			Action{Op: "admit", Network: ns.Name, Host: key, Detail: m.IP.String()}.record(rep)
+		}
+	}
+
+	// Membership epilogue: every member learns the dial addresses of its
+	// network's broker set as failover candidates, so a host whose home
+	// broker dies re-homes onto another *declared* broker — never onto
+	// one outside the federation scope. Asserted on every apply (like
+	// quotas), covering members admitted above and broker-set changes.
+	for i := range spec.Networks {
+		ns := &spec.Networks[i]
+		names := ns.Brokers
+		if len(names) == 0 {
+			names = []string{fab.HomeBroker("")}
+		}
+		addrs := make([]netsim.Addr, 0, len(names))
+		for _, b := range names {
+			a, ok := fab.BrokerAddr(b)
+			if !ok {
+				return rep, fmt.Errorf("vpc: network %q names unresolvable broker %q", ns.Name, b)
+			}
+			addrs = append(addrs, a)
+		}
+		for _, m := range mg.networks[ns.Name].Members() {
+			m.Host.SetBrokerCandidates(addrs)
 		}
 	}
 

@@ -239,8 +239,33 @@ type (
 	// RendezvousServer is one broker of the federation.
 	RendezvousServer = rendezvous.Server
 	// RendezvousConfig tunes a broker (ports, session TTL, relay
-	// fallback, replication batching).
+	// fallback, replication batching, broker liveness TTL).
 	RendezvousConfig = rendezvous.Config
+)
+
+// Chaos harness: deterministic fault injection against the sim clock.
+// Schedule broker kills, restarts and WAN partitions with World.Inject
+// and assert convergence afterwards — hosts whose home broker dies
+// re-home onto another broker of their network's declared set.
+type (
+	// Fault is one scripted fault of a chaos schedule.
+	Fault = scenario.Fault
+	// FaultRecord is one executed fault (virtual time + outcome).
+	FaultRecord = scenario.FaultRecord
+	// FaultInjector tracks a running fault schedule.
+	FaultInjector = scenario.FaultInjector
+)
+
+// Fault constructors for World.Inject schedules.
+var (
+	// KillBrokerAt schedules a broker crash (state lost).
+	KillBrokerAt = scenario.KillBrokerAt
+	// RestartBrokerAt schedules a crashed broker's empty-state restart.
+	RestartBrokerAt = scenario.RestartBrokerAt
+	// PartitionAt schedules a WAN partition between two endpoints.
+	PartitionAt = scenario.PartitionAt
+	// HealAt schedules the repair of a WAN partition.
+	HealAt = scenario.HealAt
 )
 
 // NewVPCManager creates a standalone multi-tenant control plane (for

@@ -68,8 +68,8 @@ func TestFacadeGrouping(t *testing.T) {
 }
 
 func TestFacadeExperimentRegistry(t *testing.T) {
-	if len(Experiments()) != 17 {
-		t.Fatalf("expected 17 experiments, got %d", len(Experiments()))
+	if len(Experiments()) != 18 {
+		t.Fatalf("expected 18 experiments, got %d", len(Experiments()))
 	}
 	if _, ok := Experiment("figure13"); !ok {
 		t.Fatal("figure13 missing")
@@ -82,6 +82,9 @@ func TestFacadeExperimentRegistry(t *testing.T) {
 	}
 	if _, ok := Experiment("federation"); !ok {
 		t.Fatal("federation missing")
+	}
+	if _, ok := Experiment("failover"); !ok {
+		t.Fatal("failover missing")
 	}
 	// Run the cheapest real experiment end to end through the facade.
 	r, _ := Experiment("figure13")
