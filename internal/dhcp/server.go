@@ -56,6 +56,9 @@ type Server struct {
 	byMAC map[ether.MAC]*Lease
 	// offers holds short-lived reservations keyed by MAC.
 	offers map[ether.MAC]*Lease
+	// reserved holds addresses pinned outside DHCP (VM specs): never
+	// offered or acked, however requested.
+	reserved map[netsim.IP]bool
 
 	// Stats.
 	Discovers, Offers, Requests, Acks, Naks, Releases uint64
@@ -72,12 +75,13 @@ func NewServer(stack *ipstack.Stack, cfg ServerConfig) (*Server, error) {
 		return nil, errors.New("dhcp: server stack needs a static address")
 	}
 	s := &Server{
-		stack:  stack,
-		eng:    stack.Engine(),
-		cfg:    cfg,
-		byIP:   make(map[netsim.IP]*Lease),
-		byMAC:  make(map[ether.MAC]*Lease),
-		offers: make(map[ether.MAC]*Lease),
+		stack:    stack,
+		eng:      stack.Engine(),
+		cfg:      cfg,
+		byIP:     make(map[netsim.IP]*Lease),
+		byMAC:    make(map[ether.MAC]*Lease),
+		offers:   make(map[ether.MAC]*Lease),
+		reserved: make(map[netsim.IP]bool),
 	}
 	sock, err := stack.BindUDP(ServerPort, s.onDatagram)
 	if err != nil {
@@ -89,6 +93,14 @@ func NewServer(stack *ipstack.Stack, cfg ServerConfig) (*Server, error) {
 
 // Close releases the server port.
 func (s *Server) Close() { s.sock.Close() }
+
+// Reserve pins an address against leasing: it is never offered or
+// acked until Unreserve. Addresses assigned outside DHCP (a tenant
+// spec's VM IPs) use this so the pool cannot hand them to a client.
+func (s *Server) Reserve(ip netsim.IP) { s.reserved[ip] = true }
+
+// Unreserve lifts a reservation.
+func (s *Server) Unreserve(ip netsim.IP) { delete(s.reserved, ip) }
 
 // Leases returns the live leases sorted by IP (expired ones are pruned).
 func (s *Server) Leases() []Lease {
@@ -147,6 +159,9 @@ func (s *Server) pick(mac ether.MAC, requested netsim.IP) (netsim.IP, error) {
 		if ip < s.cfg.PoolStart || ip > s.cfg.PoolEnd {
 			return false
 		}
+		if s.reserved[ip] {
+			return false
+		}
 		_, leased := s.byIP[ip]
 		if leased {
 			return false
@@ -199,7 +214,7 @@ func (s *Server) onRequest(m *Message) {
 	}
 	// The address must be ours to give and either free or already bound
 	// to this client.
-	if want < s.cfg.PoolStart || want > s.cfg.PoolEnd {
+	if want < s.cfg.PoolStart || want > s.cfg.PoolEnd || s.reserved[want] {
 		s.nak(m)
 		return
 	}

@@ -73,6 +73,8 @@ func All() []Runner {
 		{"peering", "VPC peering & quotas: policy-allowed routes and tenant rate limits (beyond the paper)", func(o Options) (fmt.Stringer, error) { return PeeringQuota(o) }},
 		{"federation", "Federated rendezvous: cross-broker lookup/connect vs broker count and replication lag (beyond the paper)", func(o Options) (fmt.Stringer, error) { return Federation(o) }},
 		{"failover", "Broker failover: time-to-re-home and connect success after a home-broker crash (beyond the paper)", func(o Options) (fmt.Stringer, error) { return Failover(o) }},
+		{"placement", "VM placement: scheduler locality, migration time and connect success per tenant (beyond the paper)", func(o Options) (fmt.Stringer, error) { return Placement(o) }},
+		{"migration", "VM migration micro-sweep: time/downtime/rounds and clean abort under partition (beyond the paper)", func(o Options) (fmt.Stringer, error) { return MigrationSweep(o) }},
 	}
 }
 

@@ -1,0 +1,75 @@
+package experiments
+
+import "testing"
+
+// TestPlacementSmallScale runs one wide-spread placement point and
+// checks the acceptance properties: the scheduler lands the unpinned VM
+// in the tight cluster, the pin-away migration completes, post-migration
+// connect success is no worse than the baseline, and the unnamed
+// witness broker held zero tenant records throughout.
+func TestPlacementSmallScale(t *testing.T) {
+	row, err := PlacementOnce(quick(), 2, 32, "wide")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.InTight {
+		t.Fatalf("scheduler chose %q outside the tight cluster", row.Chosen)
+	}
+	if row.Migration <= 0 || row.Rounds < 2 {
+		t.Fatalf("migration %v over %d rounds, want a real pre-copy", row.Migration, row.Rounds)
+	}
+	if row.BaseN == 0 || row.PostN == 0 {
+		t.Fatalf("ping sweep degenerate: baseline %d, post %d", row.BaseN, row.PostN)
+	}
+	if row.PostOK < row.BaseOK {
+		t.Fatalf("post-migration connect success %d/%d below baseline %d/%d",
+			row.PostOK, row.PostN, row.BaseOK, row.BaseN)
+	}
+	if row.Stray != 0 {
+		t.Fatalf("witness broker holds %d tenant records, want 0", row.Stray)
+	}
+}
+
+// TestPlacementTightSpreadStillConverges runs the degenerate all-near
+// spread: every host qualifies, the scheduler must still pick one and
+// the migration must still converge.
+func TestPlacementTightSpreadStillConverges(t *testing.T) {
+	row, err := PlacementOnce(quick(), 2, 32, "tight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Chosen == "" || row.Migration <= 0 {
+		t.Fatalf("row %+v: want a choice and a migration", row)
+	}
+	if row.PostOK < row.BaseOK {
+		t.Fatalf("post-migration connect success %d/%d below baseline %d/%d",
+			row.PostOK, row.PostN, row.BaseOK, row.BaseN)
+	}
+}
+
+// TestMigrationSweepPoints runs one healthy and one faulted point of
+// the migration micro-sweep: the healthy one pre-copies over multiple
+// rounds and the VM answers at the destination; the partitioned one
+// aborts cleanly (counted) and the VM answers at the source.
+func TestMigrationSweepPoints(t *testing.T) {
+	ok, err := MigrationOnce(quick(), 32, 2000, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok.Outcome != "ok" || ok.Rounds < 2 || ok.Aborts != 0 {
+		t.Fatalf("healthy point: %+v", ok)
+	}
+	if !ok.PingAfter {
+		t.Fatal("healthy point: VM unreachable after migration")
+	}
+	ab, err := MigrationOnce(quick(), 64, 2000, "partition")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.Outcome != "aborted" || ab.Aborts != 1 {
+		t.Fatalf("partition point: %+v", ab)
+	}
+	if !ab.PingAfter {
+		t.Fatal("partition point: VM unreachable at the source after the abort")
+	}
+}

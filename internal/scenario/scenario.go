@@ -24,6 +24,7 @@ import (
 	"wavnet/internal/netsim"
 	"wavnet/internal/rendezvous"
 	"wavnet/internal/sim"
+	"wavnet/internal/vm"
 	"wavnet/internal/vpc"
 )
 
@@ -141,6 +142,10 @@ type World struct {
 
 	physPort uint16
 	vpcMgr   *vpc.Manager
+
+	// vms are the world-booted (unmanaged) VMs by name; tenant-managed
+	// VMs live on the VPC manager and are found through ResolveVM.
+	vms map[string]*vm.VM
 }
 
 // M returns a machine by key, panicking on unknown keys (scenario wiring
@@ -164,6 +169,7 @@ func Build(seed int64, specs []Spec, overrides map[[2]string]sim.Duration) (*Wor
 		deadBrokers:  make(map[string]bool),
 		netFed:       make(map[string][]string),
 		physPort:     4700,
+		vms:          make(map[string]*vm.VM),
 	}
 	w.Net = netsim.New(w.Eng)
 	w.Hub = w.Net.NewSite("hub")
@@ -492,6 +498,81 @@ func (w *World) ConfigureNetFederation(net string, brokers []string) error {
 	return nil
 }
 
+// Locality implements vpc.Fabric: the measured RTT matrix the first
+// live broker serving the network has accumulated in its distance
+// locator. Returns (nil, nil) when every serving broker is dead — the
+// placement scheduler then degrades to load balancing.
+func (w *World) Locality(net string) ([]string, [][]sim.Duration) {
+	for _, s := range w.brokersServing(net) {
+		if name := w.brokerName(s); name != "" && w.deadBrokers[name] {
+			continue
+		}
+		l := s.Locator()
+		return l.Hosts(), l.Matrix()
+	}
+	return nil, nil
+}
+
+// ReportNetRTTs measures the tunnel RTT between every connected pair of
+// the named network's members and reports the results into the distance
+// locator of each broker serving the network — the harness's compressed
+// stand-in for every member uploading an rtt-report to its home broker
+// and the federation sharing the locator state. Run it before applying
+// a spec with scheduler-placed VMs so placement has locality data. It
+// drives the engine internally.
+func (w *World) ReportNetRTTs(network string) error {
+	n, ok := w.VPC().Get(network)
+	if !ok {
+		return vpc.ErrNoSuchNetwork
+	}
+	members := n.Members()
+	type meas struct {
+		a, b string
+		rtt  sim.Duration
+	}
+	var out []meas
+	var firstErr error
+	done, want := 0, 0
+	for i := range members {
+		for j := i + 1; j < len(members); j++ {
+			a, b := members[i].Host, members[j].Host
+			if _, ok := a.Tunnel(b.Name()); !ok {
+				continue
+			}
+			want++
+			w.Eng.Spawn("rtt-"+a.Name()+"-"+b.Name(), func(p *sim.Proc) {
+				defer func() { done++ }()
+				rtt, err := a.TunnelRTT(p, b.Name())
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("scenario: rtt %s-%s: %w", a.Name(), b.Name(), err)
+					}
+					return
+				}
+				out = append(out, meas{a.Name(), b.Name(), rtt})
+			})
+		}
+	}
+	for spent := 0; done < want && spent < 60; spent++ {
+		w.Eng.RunFor(time.Second)
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if done < want {
+		return fmt.Errorf("scenario: %d RTT probes still pending", want-done)
+	}
+	for _, s := range w.brokersServing(network) {
+		if name := w.brokerName(s); name != "" && w.deadBrokers[name] {
+			continue
+		}
+		for _, m := range out {
+			s.Locator().Report(m.a, m.b, m.rtt)
+		}
+	}
+	return nil
+}
+
 // brokersServing returns the servers holding a network's records: its
 // federated set, or the primary broker when it has none.
 func (w *World) brokersServing(net string) []*rendezvous.Server {
@@ -613,6 +694,52 @@ func (w *World) WAVNetUp(keys ...string) error {
 	return nil
 }
 
+// ---- VM helpers ----
+
+// AddVM boots an unmanaged VM on a machine's WAVNet host, attached to
+// the default virtual LAN (the machine needs WAVNetUp's Dom0 for the
+// migration channel). Tenant-scoped, scheduler-placed VMs are declared
+// in TenantSpec.VMs instead and converge through Apply.
+func (w *World) AddVM(key, name string, ip netsim.IP, cfg vm.Config) (*vm.VM, error) {
+	if _, ok := w.vms[name]; ok {
+		return nil, fmt.Errorf("scenario: VM %q already exists", name)
+	}
+	if _, managed := w.VPC().VM(name); managed {
+		return nil, fmt.Errorf("scenario: VM %q is managed by the tenant API", name)
+	}
+	m, ok := w.byKey[key]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown machine %q", key)
+	}
+	if m.WAV == nil || m.WAV.Dom0() == nil {
+		return nil, fmt.Errorf("scenario: machine %q has no WAVNet Dom0 (run WAVNetUp first)", key)
+	}
+	v := vm.New(m.WAV, name, ip, cfg)
+	w.vms[name] = v
+	return v, nil
+}
+
+// ResolveVM finds a VM by name: tenant-managed VMs (placed by Apply)
+// first, then world-booted ones (AddVM).
+func (w *World) ResolveVM(name string) (*vm.VM, bool) {
+	if v, ok := w.VPC().VM(name); ok {
+		return v, true
+	}
+	v, ok := w.vms[name]
+	return v, ok
+}
+
+// VMHost reports the machine key a VM currently runs on.
+func (w *World) VMHost(name string) (string, bool) {
+	if key, ok := w.VPC().VMHost(name); ok {
+		return key, true
+	}
+	if v, ok := w.vms[name]; ok {
+		return v.Host().Name(), true
+	}
+	return "", false
+}
+
 // VPC returns the world's multi-tenant control plane (created lazily).
 func (w *World) VPC() *vpc.Manager {
 	if w.vpcMgr == nil {
@@ -706,6 +833,10 @@ func (w *World) ApplySync(spec vpc.TenantSpec) (*vpc.ApplyReport, error) {
 		members += len(ns.Members)
 	}
 	budget := time.Duration(members+len(spec.Peerings))*time.Minute + 30*time.Second
+	// Live migrations are the slowest converge actions by far: budget
+	// each VM generously (a pre-copy of hundreds of MB over a shaped WAN
+	// runs for minutes of simulated time).
+	budget += time.Duration(len(spec.VMs)) * 5 * time.Minute
 	// Drive the engine in slices so the world's clock stops close to
 	// when convergence actually finishes (setup time is a measurement).
 	for spent := time.Duration(0); !done && spent < budget; spent += time.Second {

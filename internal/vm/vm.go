@@ -20,6 +20,7 @@ import (
 
 	"wavnet/internal/ether"
 	"wavnet/internal/ipstack"
+	"wavnet/internal/metrics"
 	"wavnet/internal/netsim"
 	"wavnet/internal/sim"
 )
@@ -52,6 +53,11 @@ type Config struct {
 	// HandoffDelay models device re-attachment at the destination before
 	// the VM resumes (default 50 ms).
 	HandoffDelay sim.Duration
+	// StallTimeout aborts a migration whose image transfer has made no
+	// progress for this long — the destination became unreachable
+	// mid-copy. The transfer channel is torn down, the abort is counted,
+	// and the VM keeps running (or resumes) at the source (default 15 s).
+	StallTimeout sim.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +81,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HandoffDelay <= 0 {
 		c.HandoffDelay = 50 * sim.Millisecond
+	}
+	if c.StallTimeout <= 0 {
+		c.StallTimeout = 15 * sim.Second
 	}
 	return c
 }
@@ -111,12 +120,24 @@ type VM struct {
 
 	// Migrations lists completed migration reports.
 	Migrations []*MigrationReport
+
+	// Cumulative migration statistics; Counters exports them.
+	statMigrations uint64
+	statRounds     uint64
+	statPages      uint64
+	statDowntimeUs uint64
+	statAborts     uint64
 }
 
 // Errors returned by VM operations.
 var (
 	ErrMigrating = errors.New("vm: migration already in progress")
 	ErrNotUp     = errors.New("vm: not running")
+	// ErrStalled reports a migration aborted by the stall watchdog: the
+	// image transfer stopped making progress (destination unreachable
+	// mid-copy), so the channel was torn down and the VM stayed at the
+	// source.
+	ErrStalled = errors.New("vm: migration aborted: image transfer stalled")
 )
 
 // New creates a VM on host with the given virtual IP and boots it
@@ -178,6 +199,21 @@ func (v *VM) Resume() {
 	v.running = true
 }
 
+// Counters exports the VM's cumulative migration statistics as a
+// metrics.CounterSet, the uniform export format every other subsystem
+// uses: completed migrations, pre-copy rounds, pages copied (re-sent
+// dirty pages included), stop-and-copy downtime in microseconds, and
+// aborted migrations (failures that left the VM at the source).
+func (v *VM) Counters() *metrics.CounterSet {
+	c := metrics.NewCounterSet()
+	c.Set("migrations", v.statMigrations)
+	c.Set("rounds", v.statRounds)
+	c.Set("pages_copied", v.statPages)
+	c.Set("downtime_us", v.statDowntimeUs)
+	c.Set("aborts", v.statAborts)
+	return c
+}
+
 // totalPages is the VM image size in pages.
 func (v *VM) totalPages() int { return v.cfg.MemoryMB << 20 / v.cfg.PageSize }
 
@@ -208,6 +244,7 @@ func (v *VM) Migrate(p *sim.Proc, dst HostPort) (*MigrationReport, error) {
 	}
 	defer lis.Close()
 	var roundDone bool
+	var recvConn *ipstack.Conn
 	recvErr := error(nil)
 	v.eng.Spawn("migrate-recv-"+v.name, func(rp *sim.Proc) {
 		conn, err := lis.Accept(rp)
@@ -216,6 +253,7 @@ func (v *VM) Migrate(p *sim.Proc, dst HostPort) (*MigrationReport, error) {
 			p.Unpark()
 			return
 		}
+		recvConn = conn
 		hdr := make([]byte, 8)
 		buf := make([]byte, 64<<10)
 		for {
@@ -247,9 +285,40 @@ func (v *VM) Migrate(p *sim.Proc, dst HostPort) (*MigrationReport, error) {
 
 	conn, err := src.Dom0().Dial(p, netsim.Addr{IP: dst.Dom0().IP(), Port: v.cfg.MigrationPort})
 	if err != nil {
+		v.statAborts++
 		return nil, fmt.Errorf("vm: migration channel: %w", err)
 	}
 	defer conn.Close()
+
+	// Stall watchdog: the transfer's only liveness signal is new bytes
+	// entering the TCP stream (acks drain the send buffer and let more
+	// in). When the destination becomes unreachable mid-copy the stream
+	// freezes; rather than stalling until TCP's full retransmission
+	// budget expires, abort both ends after StallTimeout of no progress
+	// and fail the migration cleanly — the VM stays at the source.
+	var stallErr error
+	lastOut := conn.BytesOut
+	lastProgress := v.eng.Now()
+	watchdog := sim.NewTicker(v.eng, v.cfg.StallTimeout/4, func() {
+		if stallErr != nil {
+			return
+		}
+		if conn.BytesOut != lastOut {
+			lastOut = conn.BytesOut
+			lastProgress = v.eng.Now()
+			return
+		}
+		if v.eng.Now().Sub(lastProgress) < v.cfg.StallTimeout {
+			return
+		}
+		stallErr = ErrStalled
+		conn.Abort()
+		if recvConn != nil {
+			recvConn.Abort()
+		}
+		p.Unpark()
+	})
+	defer watchdog.Stop()
 
 	pageSize := int64(v.cfg.PageSize)
 	sendRound := func(pages int64) error {
@@ -257,6 +326,9 @@ func (v *VM) Migrate(p *sim.Proc, dst HostPort) (*MigrationReport, error) {
 		hdr := make([]byte, 8)
 		binary.BigEndian.PutUint64(hdr, uint64(bytes))
 		if _, err := conn.Write(p, hdr); err != nil {
+			if stallErr != nil {
+				return stallErr
+			}
 			return err
 		}
 		chunk := make([]byte, 64<<10)
@@ -266,14 +338,20 @@ func (v *VM) Migrate(p *sim.Proc, dst HostPort) (*MigrationReport, error) {
 				n = int64(len(chunk))
 			}
 			if _, err := conn.Write(p, chunk[:n]); err != nil {
+				if stallErr != nil {
+					return stallErr
+				}
 				return err
 			}
 			sent += n
 		}
 		// Wait for the receiver to consume the round.
 		roundDone = false
-		for !roundDone && recvErr == nil {
+		for !roundDone && recvErr == nil && stallErr == nil {
 			p.Park()
+		}
+		if stallErr != nil {
+			return stallErr
 		}
 		rep.BytesSent += bytes
 		rep.RoundBytes = append(rep.RoundBytes, bytes)
@@ -286,6 +364,7 @@ func (v *VM) Migrate(p *sim.Proc, dst HostPort) (*MigrationReport, error) {
 	for round := 0; ; round++ {
 		roundStart := p.Now()
 		if err := sendRound(toSend); err != nil {
+			v.statAborts++
 			return nil, err
 		}
 		rep.Rounds++
@@ -315,6 +394,7 @@ func (v *VM) Migrate(p *sim.Proc, dst HostPort) (*MigrationReport, error) {
 	if err := sendRound(toSend); err != nil {
 		// Roll back: resume at the source.
 		v.Resume()
+		v.statAborts++
 		return nil, err
 	}
 	rep.Rounds++
@@ -322,6 +402,9 @@ func (v *VM) Migrate(p *sim.Proc, dst HostPort) (*MigrationReport, error) {
 	zero := make([]byte, 8)
 	conn.Write(p, zero)
 
+	// The transfer is complete; the watchdog must not misread the quiet
+	// handoff as a stall.
+	watchdog.Stop()
 	p.Sleep(v.cfg.HandoffDelay)
 	v.host = dst
 	v.Resume()
@@ -336,5 +419,9 @@ func (v *VM) Migrate(p *sim.Proc, dst HostPort) (*MigrationReport, error) {
 
 	rep.End = p.Now()
 	v.Migrations = append(v.Migrations, rep)
+	v.statMigrations++
+	v.statRounds += uint64(rep.Rounds)
+	v.statPages += uint64(rep.BytesSent / pageSize)
+	v.statDowntimeUs += uint64(rep.Downtime / sim.Microsecond)
 	return rep, nil
 }

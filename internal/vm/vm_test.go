@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"errors"
 	"io"
 	"testing"
 	"time"
@@ -134,6 +135,20 @@ func TestMigrationMovesVMAndPreservesConnectivity(t *testing.T) {
 	// Host2 is nearer host1 (8+12? hub spokes: h2->h0 = 12+5=17ms,
 	// h2->h1 = 12+8=20ms)... just require both pings sane.
 	_ = after
+	// The uniform counter export agrees with the report.
+	c := v.Counters()
+	if c.Get("migrations") != 1 || c.Get("aborts") != 0 {
+		t.Fatalf("counters %s: want migrations=1 aborts=0", c)
+	}
+	if c.Get("rounds") != uint64(rep.Rounds) {
+		t.Fatalf("counters rounds=%d, report says %d", c.Get("rounds"), rep.Rounds)
+	}
+	if c.Get("pages_copied") < uint64(64<<20/4096) {
+		t.Fatalf("counters pages_copied=%d < image pages", c.Get("pages_copied"))
+	}
+	if c.Get("downtime_us") == 0 {
+		t.Fatal("counters downtime_us=0 after a stop-and-copy")
+	}
 }
 
 func TestTCPSessionSurvivesMigration(t *testing.T) {
@@ -248,6 +263,70 @@ func TestHigherDirtyRateMoreRounds(t *testing.T) {
 	}
 	if busy.Downtime <= calm.Downtime {
 		t.Fatalf("busy downtime %v <= calm %v", busy.Downtime, calm.Downtime)
+	}
+}
+
+// TestMigrationAbortsCleanlyWhenDestinationUnreachable severs the WAN
+// path between source and destination mid-copy: the stall watchdog must
+// abort the transfer within StallTimeout (not TCP's full retransmission
+// budget), count the abort, and leave the VM running at the source.
+func TestMigrationAbortsCleanlyWhenDestinationUnreachable(t *testing.T) {
+	w := buildWorld(t, 6,
+		[]float64{50e6, 50e6, 50e6},
+		[]sim.Duration{5 * time.Millisecond, 8 * time.Millisecond, 12 * time.Millisecond})
+	stall := 5 * time.Second
+	v := New(w.hosts[0], "vm1", netsim.MustParseIP("10.0.0.100"),
+		Config{MemoryMB: 64, StallTimeout: stall})
+	var migErr error
+	done := false
+	var doneAt sim.Time
+	w.eng.Spawn("migrate", func(p *sim.Proc) {
+		_, migErr = v.Migrate(p, w.hosts[1])
+		done = true
+		doneAt = p.Now()
+	})
+	// 64 MB at 50 Mbps needs ~10 s; cut the source-destination WAN path
+	// 2 s in, squarely inside the first pre-copy round.
+	srcSite := w.hosts[0].Phys().Site()
+	dstSite := w.hosts[1].Phys().Site()
+	w.eng.Schedule(2*time.Second, func() { w.nw.Partition(srcSite, dstSite) })
+	start := w.eng.Now()
+	w.eng.RunFor(10 * time.Minute)
+	if !done {
+		t.Fatal("migration never returned after the partition")
+	}
+	if !errors.Is(migErr, ErrStalled) {
+		t.Fatalf("migration error = %v, want ErrStalled", migErr)
+	}
+	// Clean and prompt: abort within partition time + StallTimeout + the
+	// watchdog's tick slack, nowhere near TCP's retransmission budget.
+	if d := doneAt.Sub(start); d > 2*time.Second+3*stall {
+		t.Fatalf("abort took %v, want under %v", d, 2*time.Second+3*stall)
+	}
+	if v.Host() != w.hosts[0] {
+		t.Fatal("aborted migration moved the VM")
+	}
+	if !v.Running() {
+		t.Fatal("VM not running at the source after the abort")
+	}
+	c := v.Counters()
+	if c.Get("aborts") != 1 || c.Get("migrations") != 0 {
+		t.Fatalf("counters %s: want aborts=1 migrations=0", c)
+	}
+	if len(v.Migrations) != 0 {
+		t.Fatalf("aborted migration left %d reports", len(v.Migrations))
+	}
+	// After healing, the VM still serves traffic from its old home.
+	w.nw.Heal(srcSite, dstSite)
+	var pingErr error
+	pinged := false
+	w.eng.Spawn("ping", func(p *sim.Proc) {
+		_, pingErr = w.hosts[2].Dom0().Ping(p, v.IP(), 56, 5*time.Second)
+		pinged = true
+	})
+	w.eng.RunFor(30 * time.Second)
+	if !pinged || pingErr != nil {
+		t.Fatalf("post-abort ping: done=%v err=%v", pinged, pingErr)
 	}
 }
 

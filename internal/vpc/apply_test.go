@@ -308,3 +308,210 @@ func TestApplyRejects(t *testing.T) {
 		t.Fatalf("ops = %q", got)
 	}
 }
+
+// TestApplyVMFollowsMembership: when a VM's current host leaves its
+// network in the same apply, the VM cannot migrate (its source end is
+// leaving the tenant), so the pre-pass detaches it and the placement
+// pass boots it fresh on a surviving member. An imperative eviction of
+// a host still running a VM is refused outright.
+func TestApplyVMFollowsMembership(t *testing.T) {
+	w, err := scenario.Build(14, scenario.EmulatedWANSpecs(3, 100e6), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := vpc.TenantSpec{
+		Tenant: "acme",
+		Networks: []vpc.NetworkSpec{{
+			Name: "vnet", CIDR: "10.30.0.0/24", StaticAddressing: true,
+			Members: []string{"pc00", "pc01", "pc02"},
+		}},
+		VMs: []vpc.VMSpec{{Name: "job", Network: "vnet", IP: "10.30.0.200", MemoryMB: 16, Host: "pc02"}},
+	}
+	if _, err := apply(t, w, spec); err != nil {
+		t.Fatal(err)
+	}
+
+	// Evicting pc02 imperatively while the VM runs there is refused.
+	n, _ := w.VPC().Get("vnet")
+	m, _ := n.Member("pc02")
+	evictErr := error(nil)
+	evicted := false
+	w.Eng.Spawn("evict", func(p *sim.Proc) {
+		evictErr = w.VPC().Evict(p, m.Host, "vnet")
+		evicted = true
+	})
+	w.Eng.RunFor(10 * time.Second)
+	if !evicted || evictErr == nil || !strings.Contains(evictErr.Error(), "still runs VM") {
+		t.Fatalf("evicting a VM's host: done=%v err=%v", evicted, evictErr)
+	}
+
+	// Declaratively dropping the host (with the VM unpinned) re-places
+	// the VM on a surviving member: evict before the membership change,
+	// place after it.
+	spec.Networks[0].Members = []string{"pc00", "pc01"}
+	spec.VMs[0].Host = ""
+	rep, err := apply(t, w, spec)
+	if err != nil {
+		t.Fatalf("apply: %v (report: %v)", err, rep)
+	}
+	got := ops(rep)
+	if !strings.Contains(got, "vm-evict") || !strings.Contains(got, "evict") ||
+		!strings.Contains(got, "vm-place") {
+		t.Fatalf("ops = %q, want vm-evict ... evict ... vm-place", got)
+	}
+	host, ok := w.VPC().VMHost("job")
+	if !ok || (host != "pc00" && host != "pc01") {
+		t.Fatalf("VM on %q, want a surviving member", host)
+	}
+	// Idempotent afterwards.
+	again, err := apply(t, w, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Empty() {
+		t.Fatalf("re-apply not idempotent: %v", again)
+	}
+}
+
+// TestApplyVMAddressReservation: a VM's spec'd IP is pinned against the
+// network's address pools — a spec claiming a member's live address is
+// refused at placement, static assignment skips reserved addresses when
+// later members join, and eviction releases the reservation.
+func TestApplyVMAddressReservation(t *testing.T) {
+	w, err := scenario.Build(15, scenario.EmulatedWANSpecs(4, 100e6), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := vpc.TenantSpec{
+		Tenant: "acme",
+		Networks: []vpc.NetworkSpec{{
+			Name: "vnet", CIDR: "10.31.0.0/24", StaticAddressing: true,
+			Members: []string{"pc00", "pc01"},
+		}},
+	}
+	if _, err := apply(t, w, spec); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := w.VPC().Get("vnet")
+	// Static addressing: anchor pc00 = .1, pc01 = .2; a VM claiming .2
+	// collides with pc01 and must be refused.
+	taken := spec
+	taken.VMs = []vpc.VMSpec{{Name: "clash", Network: "vnet", IP: "10.31.0.2", MemoryMB: 16, Host: "pc00"}}
+	if _, err := apply(t, w, taken); err == nil || !strings.Contains(err.Error(), "already belongs to member") {
+		t.Fatalf("member-address clash error = %v", err)
+	}
+
+	// A VM at .3 — exactly where the static cursor points next — forces
+	// the next admitted member to skip to .4.
+	spec.VMs = []vpc.VMSpec{{Name: "job", Network: "vnet", IP: "10.31.0.3", MemoryMB: 16, Host: "pc00"}}
+	if _, err := apply(t, w, spec); err != nil {
+		t.Fatal(err)
+	}
+	spec.Networks[0].Members = append(spec.Networks[0].Members, "pc02")
+	if _, err := apply(t, w, spec); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := n.Member("pc02")
+	if m.IP.String() != "10.31.0.4" {
+		t.Fatalf("pc02 got %s, want 10.31.0.4 (VM holds .3)", m.IP)
+	}
+
+	// Eviction releases the reservation: the next member takes .3... the
+	// cursor already moved past it, but a fresh VM may claim it again.
+	spec.VMs = nil
+	if _, err := apply(t, w, spec); err != nil {
+		t.Fatal(err)
+	}
+	spec.VMs = []vpc.VMSpec{{Name: "job2", Network: "vnet", IP: "10.31.0.3", MemoryMB: 16, Host: "pc00"}}
+	if _, err := apply(t, w, spec); err != nil {
+		t.Fatalf("re-claiming a released VM address: %v", err)
+	}
+}
+
+// TestApplyVMReservationBlocksDHCP: on a DHCP-addressed network the
+// VM's address is reserved on the per-network server, so a member
+// joining later leases around it.
+func TestApplyVMReservationBlocksDHCP(t *testing.T) {
+	w, err := scenario.Build(16, scenario.EmulatedWANSpecs(3, 100e6), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := vpc.TenantSpec{
+		Tenant: "acme",
+		Networks: []vpc.NetworkSpec{{
+			Name: "vnet", CIDR: "10.32.0.0/24",
+			Members: []string{"pc00", "pc01"},
+		}},
+	}
+	if _, err := apply(t, w, spec); err != nil {
+		t.Fatal(err)
+	}
+	// Pool starts at .2; pc01 leased it. The VM takes .3, which the
+	// server would otherwise offer to the next client.
+	spec.VMs = []vpc.VMSpec{{Name: "job", Network: "vnet", IP: "10.32.0.3", MemoryMB: 16, Host: "pc00"}}
+	if _, err := apply(t, w, spec); err != nil {
+		t.Fatal(err)
+	}
+	spec.Networks[0].Members = append(spec.Networks[0].Members, "pc02")
+	if _, err := apply(t, w, spec); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := w.VPC().Get("vnet")
+	m, _ := n.Member("pc02")
+	v, _ := w.VPC().VM("job")
+	if m.IP == v.IP() {
+		t.Fatalf("DHCP leased the VM's reserved address %s to pc02", m.IP)
+	}
+	if m.IP.String() != "10.32.0.4" {
+		t.Fatalf("pc02 leased %s, want 10.32.0.4 (VM holds .3)", m.IP)
+	}
+}
+
+// TestApplyVMReservationSurvivesReplace is the regression guard for a
+// one-apply race: a VM the spec still wants is evicted by the pre-pass
+// (geometry change forces recreate) while a new DHCP member joins in
+// the same apply. The VM's address reservation must survive the
+// eviction, or the fresh member leases the address and the re-place
+// fails on a perfectly valid spec.
+func TestApplyVMReservationSurvivesReplace(t *testing.T) {
+	w, err := scenario.Build(17, scenario.EmulatedWANSpecs(3, 100e6), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := vpc.TenantSpec{
+		Tenant: "acme",
+		Networks: []vpc.NetworkSpec{{
+			Name: "vnet", CIDR: "10.33.0.0/24", Members: []string{"pc00"},
+		}},
+		VMs: []vpc.VMSpec{{Name: "job", Network: "vnet", IP: "10.33.0.2", MemoryMB: 16, Host: "pc00"}},
+	}
+	if _, err := apply(t, w, spec); err != nil {
+		t.Fatal(err)
+	}
+	spec.Networks[0].Members = []string{"pc00", "pc01"}
+	if _, err := apply(t, w, spec); err != nil {
+		t.Fatal(err)
+	}
+
+	// One apply: pc01 out, pc02 in, and the VM's memory doubles (the
+	// pre-pass must evict + re-place it at the same address).
+	spec.Networks[0].Members = []string{"pc00", "pc02"}
+	spec.VMs[0].MemoryMB = 32
+	rep, err := apply(t, w, spec)
+	if err != nil {
+		t.Fatalf("apply: %v (report: %v)", err, rep)
+	}
+	got := ops(rep)
+	if !strings.Contains(got, "vm-evict") || !strings.Contains(got, "vm-place") {
+		t.Fatalf("ops = %q, want vm-evict ... vm-place", got)
+	}
+	v, ok := w.VPC().VM("job")
+	if !ok || v.IP().String() != "10.33.0.2" {
+		t.Fatalf("VM missing or moved off its address: ok=%v ip=%v", ok, v.IP())
+	}
+	n, _ := w.VPC().Get("vnet")
+	m, _ := n.Member("pc02")
+	if m.IP == v.IP() {
+		t.Fatalf("pc02 leased the VM's reserved address %s", m.IP)
+	}
+}

@@ -46,6 +46,12 @@ type Fabric interface {
 	// set, so re-homing after a broker death stays inside the network's
 	// declared broker set.
 	BrokerAddr(name string) (netsim.Addr, bool)
+	// Locality returns the measured RTT matrix the distance locator has
+	// accumulated for the named network (rows follow names; 0 entries
+	// are unmeasured). The placement scheduler scores candidate hosts
+	// with it; returning (nil, nil) degrades placement to pure load
+	// balancing.
+	Locality(net string) (names []string, rtts [][]sim.Duration)
 }
 
 // tenantState is the reconciler's memory of what it last applied for a
@@ -58,8 +64,10 @@ type tenantState struct {
 	// never severs pre-existing shared-fabric tunnels that also carry
 	// other traffic.
 	peerLinks map[[2]string]map[[2]string]bool
-	quota     QuotaSpec
-	quotaSet  bool
+	// vms are the tenant's placed virtual machines, keyed by VM name.
+	vms      map[string]*vmRec
+	quota    QuotaSpec
+	quotaSet bool
 }
 
 func (mg *Manager) tenant(name string) *tenantState {
@@ -68,6 +76,7 @@ func (mg *Manager) tenant(name string) *tenantState {
 		ts = &tenantState{
 			peerings:  make(map[[2]string]PeeringSpec),
 			peerLinks: make(map[[2]string]map[[2]string]bool),
+			vms:       make(map[string]*vmRec),
 		}
 		mg.tenants[name] = ts
 	}
@@ -110,6 +119,14 @@ func (mg *Manager) SnapshotTenant(tenant string) TenantSpec {
 		}
 		if ts.quotaSet {
 			spec.Quota = ts.quota
+		}
+		vmNames := make([]string, 0, len(ts.vms))
+		for name := range ts.vms {
+			vmNames = append(vmNames, name)
+		}
+		sort.Strings(vmNames)
+		for _, name := range vmNames {
+			spec.VMs = append(spec.VMs, ts.vms[name].spec)
 		}
 	}
 	return spec
@@ -163,6 +180,13 @@ func (mg *Manager) Reconcile(p *sim.Proc, spec TenantSpec, fab Fabric) (*ApplyRe
 			}
 		}
 	}
+
+	// 0. VM pre-pass, before any network or membership changes: every
+	// VM the desired spec no longer supports where it runs is detached
+	// now, while its segment still exists. VMs the spec still wants are
+	// re-placed (or migrated) by the placement pass after memberships
+	// converge.
+	mg.reconcileVMsPre(&spec, ts, rep)
 
 	// 1. Remove stale peerings first, while both sides' networks and
 	// members still exist.
@@ -355,6 +379,14 @@ func (mg *Manager) Reconcile(p *sim.Proc, spec TenantSpec, fab Fabric) (*ApplyRe
 		Action{Op: "clear-quota"}.record(rep)
 	}
 	ts.quota, ts.quotaSet = q, true
+
+	// 7. VMs: place what is missing (pinned host or scheduler choice)
+	// and live-migrate what runs on the wrong member. Runs last so every
+	// admission, federation push and quota above is already in force on
+	// both ends of any migration.
+	if err := mg.reconcileVMs(p, &spec, ts, fab, rep); err != nil {
+		return rep, err
+	}
 
 	return rep, nil
 }

@@ -25,6 +25,12 @@ type TenantSpec struct {
 	// Peerings are policy-controlled routes between pairs of the
 	// tenant's networks. Absent pairs are absolutely isolated.
 	Peerings []PeeringSpec
+	// VMs are the tenant's virtual machines: each plugs its vif into one
+	// of the spec's networks and runs on a declared (or
+	// scheduler-chosen) member host. VMs missing from the spec are
+	// evicted; a VM whose desired host differs from where it runs is
+	// converged by live migration.
+	VMs []VMSpec
 	// Quota caps the tenant's send rate per (member host, tunnel);
 	// RateBps 0 means unmetered.
 	Quota QuotaSpec
@@ -67,13 +73,49 @@ type PeeringSpec struct {
 	AllowB []string
 }
 
+// VMSpec declares one virtual machine of the tenant: where it plugs in
+// (a network and an address inside its CIDR) and where it should run.
+// The reconciler keeps the VM where the spec says via live migration:
+// changing Host on an applied spec pre-copies the image to the new
+// member and resumes it there without the vif ever leaving the tenant.
+type VMSpec struct {
+	// Name is the VM's unique name within the tenant.
+	Name string
+	// Network names the tenant network whose segment the VM's vif joins.
+	Network string
+	// IP is the VM's address inside the network's CIDR. Placement
+	// reserves it against the network's address pools: it must not
+	// already belong to a member, and neither static assignment nor the
+	// DHCP server will hand it out while the VM exists.
+	IP string
+	// MemoryMB sizes the VM image (default 256).
+	MemoryMB int
+	// DirtyRate is the page-dirtying rate while the VM runs (pages/s,
+	// default 2000); it drives pre-copy convergence.
+	DirtyRate float64
+	// Host pins the VM to a member machine key of its network. "" lets
+	// the placement scheduler choose: locality-scored over the distance
+	// locator's measured RTTs, load-balanced, and constrained to hosts
+	// homed on the network's declared brokers. A scheduler choice is
+	// sticky — re-applying does not move the VM while its host remains a
+	// valid member.
+	Host string
+}
+
 // QuotaSpec is a per-tenant rate limit, enforced by a token bucket per
-// (member host, tunnel) in the data plane.
+// (member host, tunnel) in the data plane, plus the tenant's VM
+// capacity envelope enforced by the placement pass.
 type QuotaSpec struct {
 	// RateBps is the sustained rate in bits per second; 0 = unmetered.
 	RateBps float64
 	// BurstBytes is the bucket depth (default 64 KiB).
 	BurstBytes int
+	// MaxVMs caps the tenant's VM count across all networks (0 =
+	// unlimited).
+	MaxVMs int
+	// MaxVMMemoryMB caps the tenant's total declared VM memory in MB,
+	// defaults included (0 = unlimited).
+	MaxVMMemoryMB int
 }
 
 // ParsePrefix parses a policy prefix "a.b.c.d/n" with 1 <= n <= 32
@@ -100,7 +142,7 @@ type Action struct {
 	// Op identifies the change: create-network, adopt-network,
 	// recreate-network, delete-network, admit, evict, peer, repeer,
 	// unpeer, peer-connect, peer-disconnect, set-quota, clear-quota,
-	// federate, defederate.
+	// federate, defederate, vm-place, vm-migrate, vm-evict.
 	Op string
 	// Network is the affected network (or "a<->b" pair for peerings).
 	Network string
@@ -233,7 +275,88 @@ func (spec *TenantSpec) validate() error {
 	if spec.Quota.RateBps < 0 {
 		return fmt.Errorf("vpc: tenant %s: negative quota rate", spec.Tenant)
 	}
+	if spec.Quota.MaxVMs < 0 || spec.Quota.MaxVMMemoryMB < 0 {
+		return fmt.Errorf("vpc: tenant %s: negative VM quota", spec.Tenant)
+	}
+	vmNames := make(map[string]bool, len(spec.VMs))
+	vmIPs := make(map[string]map[netsim.IP]bool)
+	totalMem := 0
+	for i := range spec.VMs {
+		vs := &spec.VMs[i]
+		if vs.Name == "" {
+			return fmt.Errorf("vpc: tenant %s: VM %d needs a name", spec.Tenant, i)
+		}
+		if vmNames[vs.Name] {
+			return fmt.Errorf("vpc: tenant %s: duplicate VM %q", spec.Tenant, vs.Name)
+		}
+		vmNames[vs.Name] = true
+		ns, ok := names[vs.Network]
+		if !ok {
+			return fmt.Errorf("vpc: tenant %s: VM %q names unknown network %q", spec.Tenant, vs.Name, vs.Network)
+		}
+		if vs.MemoryMB < 0 || vs.DirtyRate < 0 {
+			return fmt.Errorf("vpc: tenant %s: VM %q: negative memory or dirty rate", spec.Tenant, vs.Name)
+		}
+		ip, err := netsim.ParseIP(vs.IP)
+		if err != nil {
+			return fmt.Errorf("vpc: tenant %s: VM %q: %w", spec.Tenant, vs.Name, err)
+		}
+		cidr, _ := ParseCIDR(ns.CIDR) // validated above
+		switch {
+		case !cidr.Contains(ip):
+			return fmt.Errorf("vpc: tenant %s: VM %q: IP %s outside network %q (%s)",
+				spec.Tenant, vs.Name, vs.IP, ns.Name, ns.CIDR)
+		case ip == cidr.Base || ip == cidr.Broadcast():
+			return fmt.Errorf("vpc: tenant %s: VM %q: IP %s is the network/broadcast address",
+				spec.Tenant, vs.Name, vs.IP)
+		case ip == cidr.Base+1:
+			return fmt.Errorf("vpc: tenant %s: VM %q: IP %s is the network's gateway",
+				spec.Tenant, vs.Name, vs.IP)
+		}
+		if vmIPs[ns.Name] == nil {
+			vmIPs[ns.Name] = make(map[netsim.IP]bool)
+		}
+		if vmIPs[ns.Name][ip] {
+			return fmt.Errorf("vpc: tenant %s: two VMs claim %s in network %q", spec.Tenant, vs.IP, ns.Name)
+		}
+		vmIPs[ns.Name][ip] = true
+		if vs.Host != "" {
+			member := false
+			for _, m := range ns.Members {
+				if m == vs.Host {
+					member = true
+					break
+				}
+			}
+			if !member {
+				return fmt.Errorf("vpc: tenant %s: VM %q pins host %q, which network %q does not list as a member",
+					spec.Tenant, vs.Name, vs.Host, ns.Name)
+			}
+		}
+		totalMem += vs.normalized().MemoryMB
+	}
+	// The VM capacity envelope is declarative: a spec that exceeds it is
+	// refused outright, before any state is touched.
+	if q := spec.Quota.MaxVMs; q > 0 && len(spec.VMs) > q {
+		return fmt.Errorf("vpc: tenant %s: %d VMs exceed quota MaxVMs=%d", spec.Tenant, len(spec.VMs), q)
+	}
+	if q := spec.Quota.MaxVMMemoryMB; q > 0 && totalMem > q {
+		return fmt.Errorf("vpc: tenant %s: %d MB of VM memory exceeds quota MaxVMMemoryMB=%d",
+			spec.Tenant, totalMem, q)
+	}
 	return nil
+}
+
+// normalized fills a VMSpec's defaulted fields so live state can be
+// compared against the spec field by field.
+func (v VMSpec) normalized() VMSpec {
+	if v.MemoryMB <= 0 {
+		v.MemoryMB = 256
+	}
+	if v.DirtyRate <= 0 {
+		v.DirtyRate = 2000
+	}
+	return v
 }
 
 // pairKey normalizes an unordered network pair.

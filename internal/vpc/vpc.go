@@ -36,6 +36,7 @@ import (
 	"wavnet/internal/ether"
 	"wavnet/internal/ipstack"
 	"wavnet/internal/netsim"
+	"wavnet/internal/placement"
 	"wavnet/internal/sim"
 )
 
@@ -130,6 +131,10 @@ type Network struct {
 	order   []string // admission order; order[0] is the anchor
 	dhcpSrv *dhcp.Server
 	nextIP  netsim.IP // static-addressing cursor
+	// reserved pins addresses assigned outside the pools (VM spec IPs):
+	// static assignment skips them and the DHCP server never leases
+	// them.
+	reserved map[netsim.IP]bool
 }
 
 // Member is one host's membership in a network.
@@ -171,6 +176,31 @@ func (n *Network) GatewayIP() netsim.IP { return n.CIDR.Base + 1 }
 // admission or under static addressing).
 func (n *Network) DHCPServer() *dhcp.Server { return n.dhcpSrv }
 
+// reserveIP pins an address for a VM: it must not already belong to a
+// member, static assignment skips it, and the DHCP pool refuses to
+// lease it.
+func (n *Network) reserveIP(ip netsim.IP) error {
+	for _, m := range n.Members() {
+		if m.IP == ip {
+			return fmt.Errorf("address %s already belongs to member %s of %s",
+				ip, m.Host.Name(), n.Name)
+		}
+	}
+	n.reserved[ip] = true
+	if n.dhcpSrv != nil {
+		n.dhcpSrv.Reserve(ip)
+	}
+	return nil
+}
+
+// releaseIP lifts a VM's address reservation.
+func (n *Network) releaseIP(ip netsim.IP) {
+	delete(n.reserved, ip)
+	if n.dhcpSrv != nil {
+		n.dhcpSrv.Unreserve(ip)
+	}
+}
+
 // Config returns the configuration the network was created with.
 func (n *Network) Config() NetworkConfig { return n.cfg }
 
@@ -186,9 +216,13 @@ type Manager struct {
 	retired map[uint32]bool
 
 	// tenants carries the reconciler's per-tenant policy state
-	// (applied peerings and quota); network ownership itself lives on
-	// Network.Tenant.
+	// (applied peerings, placed VMs and quota); network ownership itself
+	// lives on Network.Tenant.
 	tenants map[string]*tenantState
+
+	// sched is the placement scheduler the VM pass consults for
+	// unpinned VMs (created lazily).
+	sched *placement.Scheduler
 }
 
 // NewManager returns an empty control plane.
@@ -235,13 +269,14 @@ func (mg *Manager) Create(name, cidr string, cfg NetworkConfig) (*Network, error
 		cfg.Lease = 10 * sim.Minute
 	}
 	n := &Network{
-		Name:    name,
-		VNI:     vni,
-		CIDR:    prefix,
-		Default: cfg.Default,
-		cfg:     cfg,
-		members: make(map[string]*Member),
-		nextIP:  prefix.Base + 2,
+		Name:     name,
+		VNI:      vni,
+		CIDR:     prefix,
+		Default:  cfg.Default,
+		cfg:      cfg,
+		members:  make(map[string]*Member),
+		nextIP:   prefix.Base + 2,
+		reserved: make(map[netsim.IP]bool),
 	}
 	mg.networks[name] = n
 	mg.byVNI[vni] = n
@@ -398,6 +433,9 @@ func (n *Network) address(p *sim.Proc, m *Member) error {
 	m.vif = vif
 	stackName := fmt.Sprintf("%s-%s", h.Name(), n.Name)
 	if n.cfg.StaticAddressing {
+		for n.reserved[n.nextIP] {
+			n.nextIP++
+		}
 		ip := n.nextIP
 		if ip >= n.CIDR.Broadcast() {
 			h.DetachVIF(vif)
@@ -444,6 +482,18 @@ func (mg *Manager) Evict(p *sim.Proc, h *core.Host, network string) error {
 	}
 	if m.Anchor() && len(n.members) > 1 {
 		return ErrAnchorPinned
+	}
+	// A member still running one of the tenant's VMs cannot leave: its
+	// departure would drop the segment out from under the vif. The
+	// reconciler's VM pre-pass detaches such VMs before any eviction;
+	// imperative callers must drop the VM from the tenant spec first.
+	if ts, ok := mg.tenants[n.Tenant]; ok {
+		for name, rec := range ts.vms {
+			if rec.host == h.Name() && rec.spec.Network == n.Name {
+				return fmt.Errorf("vpc: %s still runs VM %q; remove it from the tenant spec first",
+					h.Name(), name)
+			}
+		}
 	}
 	// Control-plane scope must not outlive the membership: co-tenants
 	// could otherwise still discover and broker-connect to the evicted

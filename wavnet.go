@@ -40,6 +40,7 @@ import (
 	"wavnet/internal/ipstack"
 	"wavnet/internal/nat"
 	"wavnet/internal/netsim"
+	"wavnet/internal/placement"
 	"wavnet/internal/planetlab"
 	"wavnet/internal/rendezvous"
 	"wavnet/internal/scenario"
@@ -223,7 +224,13 @@ type (
 	// PeeringSpec is a policy-carrying route between two of the
 	// tenant's networks (allowed destination prefixes per side).
 	PeeringSpec = vpc.PeeringSpec
-	// QuotaSpec caps a tenant's send rate per (member host, tunnel).
+	// VMSpec declares one managed VM: the network and address its vif
+	// plugs into, its image geometry, and the member host it should run
+	// on ("" lets the placement scheduler choose). Apply converges a
+	// changed Host by live migration.
+	VMSpec = vpc.VMSpec
+	// QuotaSpec caps a tenant's send rate per (member host, tunnel) and
+	// its VM capacity (count and total memory).
 	QuotaSpec = vpc.QuotaSpec
 	// ApplyReport lists every action one World.Apply took.
 	ApplyReport = vpc.ApplyReport
@@ -271,6 +278,33 @@ var (
 // NewVPCManager creates a standalone multi-tenant control plane (for
 // custom setups outside a World).
 func NewVPCManager() *VPCManager { return vpc.NewManager() }
+
+// ---- tenant-aware VM placement (scheduler + migration-as-convergence) ----
+
+// Declare VMs in a TenantSpec (VMSpec) and World.Apply keeps them where
+// the spec says: placement on a member host (scheduler-chosen when
+// Host is ""), live migration when the desired host changes, eviction
+// when the VM leaves the spec. World.ResolveVM finds managed VMs;
+// World.AddVM boots unmanaged ones on the default LAN.
+type (
+	// PlacementScheduler scores candidate hosts for a VM: locality core
+	// first (the distance locator's measured RTTs through the paper's
+	// grouping algorithm), then load, constrained to the network's
+	// declared brokers.
+	PlacementScheduler = placement.Scheduler
+	// PlacementConfig tunes the scheduler (core size, RTT edge cutoff).
+	PlacementConfig = placement.Config
+	// PlacementCandidate is one host eligible to run a VM.
+	PlacementCandidate = placement.Candidate
+	// PlacementRequest describes the VM that needs a host.
+	PlacementRequest = placement.Request
+	// PlacementDecision is a choice with its scoring diagnostics.
+	PlacementDecision = placement.Decision
+)
+
+// NewPlacementScheduler creates a standalone placement scheduler (the
+// reconciler keeps its own; this is for custom control planes).
+func NewPlacementScheduler(cfg PlacementConfig) *PlacementScheduler { return placement.New(cfg) }
 
 // ParseCIDR parses "a.b.c.d/n".
 func ParseCIDR(s string) (CIDR, error) { return vpc.ParseCIDR(s) }

@@ -68,8 +68,8 @@ func TestFacadeGrouping(t *testing.T) {
 }
 
 func TestFacadeExperimentRegistry(t *testing.T) {
-	if len(Experiments()) != 18 {
-		t.Fatalf("expected 18 experiments, got %d", len(Experiments()))
+	if len(Experiments()) != 20 {
+		t.Fatalf("expected 20 experiments, got %d", len(Experiments()))
 	}
 	if _, ok := Experiment("figure13"); !ok {
 		t.Fatal("figure13 missing")
@@ -85,6 +85,12 @@ func TestFacadeExperimentRegistry(t *testing.T) {
 	}
 	if _, ok := Experiment("failover"); !ok {
 		t.Fatal("failover missing")
+	}
+	if _, ok := Experiment("placement"); !ok {
+		t.Fatal("placement missing")
+	}
+	if _, ok := Experiment("migration"); !ok {
+		t.Fatal("migration missing")
 	}
 	// Run the cheapest real experiment end to end through the facade.
 	r, _ := Experiment("figure13")
