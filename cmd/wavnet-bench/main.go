@@ -1,17 +1,26 @@
-// Command wavnet-bench regenerates the paper's tables and figures.
+// Command wavnet-bench regenerates the paper's tables and figures, and
+// pins the repo's performance trajectory.
 //
 // Usage:
 //
 //	wavnet-bench -list
 //	wavnet-bench [-seed N] [-paper] table2 figure6 ...
 //	wavnet-bench all
+//	wavnet-bench -trajectory [-pr N] [-out FILE] [-baseline FILE]
 //
 // Quick mode (default) shrinks durations and transfer sizes while
 // preserving each experiment's shape; -paper uses the publication
 // parameters where tractable.
+//
+// -trajectory runs the pinned macro-benchmark suite and writes one
+// BENCH_<pr>.json point ({pr, bench, metric, value, unit} rows). The
+// simulation is deterministic per seed, so the committed point is also
+// the baseline: with -baseline pointing at a previous point, the run
+// exits 1 when any directed metric regresses by more than 10%.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,8 +33,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	paper := flag.Bool("paper", false, "use paper-scale parameters (slow)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	trajectory := flag.Bool("trajectory", false, "run the pinned macro-benchmark suite and write BENCH_<pr>.json")
+	pr := flag.Int("pr", 6, "trajectory point number stamped into every row")
+	out := flag.String("out", "", "trajectory output file (default BENCH_<pr>.json)")
+	baseline := flag.String("baseline", "", "previous trajectory point to compare against (exit 1 on >10% regression)")
 	flag.Parse()
 
+	if *trajectory {
+		os.Exit(runTrajectory(experiments.Options{Seed: *seed, Quick: !*paper}, *pr, *out, *baseline))
+	}
 	if *list {
 		for _, r := range experiments.All() {
 			fmt.Printf("%-10s %s\n", r.ID, r.Title)
@@ -67,4 +83,52 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// runTrajectory runs the pinned suite, writes the point, and compares
+// it against the baseline when one is given. Returns the exit code.
+func runTrajectory(opts experiments.Options, pr int, out, baseline string) int {
+	if out == "" {
+		out = fmt.Sprintf("BENCH_%d.json", pr)
+	}
+	start := time.Now()
+	res, err := experiments.Trajectory(opts, pr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trajectory failed: %v\n", err)
+		return 1
+	}
+	fmt.Println(res.String())
+	fmt.Printf("(%s wall time)\n", time.Since(start).Round(time.Millisecond))
+	data, err := experiments.MarshalBench(res.Rows)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "marshal: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "write %s: %v\n", out, err)
+		return 1
+	}
+	fmt.Printf("wrote %s (%d rows)\n", out, len(res.Rows))
+	if baseline == "" {
+		return 0
+	}
+	raw, err := os.ReadFile(baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "baseline %s: %v\n", baseline, err)
+		return 1
+	}
+	var base []experiments.BenchRow
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "baseline %s: %v\n", baseline, err)
+		return 1
+	}
+	if regressions := experiments.CompareBench(res.Rows, base); len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "%d regression(s) vs %s:\n", len(regressions), baseline)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		return 1
+	}
+	fmt.Printf("no regressions vs %s\n", baseline)
+	return 0
 }

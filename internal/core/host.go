@@ -22,6 +22,7 @@ import (
 	"wavnet/internal/ether"
 	"wavnet/internal/ipstack"
 	"wavnet/internal/netsim"
+	"wavnet/internal/obs"
 	"wavnet/internal/rendezvous"
 	"wavnet/internal/sim"
 	"wavnet/internal/stun"
@@ -82,6 +83,11 @@ type Config struct {
 	// PacketCost is the Packet Assembler's per-packet processing time on
 	// both encapsulation and decapsulation (user-level tap handling).
 	PacketCost sim.Duration
+
+	// Tracer records sim-time spans for the host's multi-step control
+	// flows (tunnel establishment, broker re-home elections); nil
+	// disables tracing.
+	Tracer *obs.Trace
 }
 
 func (c Config) withDefaults() Config {
@@ -647,10 +653,14 @@ func (h *Host) survivors(dead netsim.Addr) []netsim.Addr {
 // election keeps excluding exactly that broker instead of whichever
 // survivor happened to fail last.
 func (h *Host) rehome(p *sim.Proc) error {
+	sp := h.cfg.Tracer.Start(nil, "rehome", obs.Labels{Host: h.name, Net: h.network})
+	defer sp.End()
 	dead := h.rdv
+	sp.Event("broker %v silent %v", dead, h.BrokerSilence())
 	cands := h.survivors(dead)
 	if len(cands) == 0 {
 		h.RehomeFailures++
+		sp.Event("no surviving candidate")
 		return ErrUnreachable
 	}
 	if err := h.electAndJoin(p, cands); err != nil {
@@ -659,9 +669,11 @@ func (h *Host) rehome(p *sim.Proc) error {
 		// actually declared dead.
 		h.rdv = dead
 		h.RehomeFailures++
+		sp.Event("election failed: %v", err)
 		return err
 	}
 	h.Rehomes++
+	sp.Event("rehomed to %v", h.rdv)
 	return nil
 }
 
@@ -675,8 +687,13 @@ func (h *Host) reregister() {
 	h.recovering = true
 	h.eng.Spawn("reregister-"+h.name, func(p *sim.Proc) {
 		defer func() { h.recovering = false }()
+		sp := h.cfg.Tracer.Start(nil, "reregister", obs.Labels{Host: h.name, Net: h.network})
+		defer sp.End()
 		if err := h.Join(p, h.rdv); err == nil {
 			h.Reregisters++
+			sp.Event("re-registered with %v", h.rdv)
+		} else {
+			sp.Event("re-register failed: %v", err)
 		}
 	})
 }
@@ -873,6 +890,9 @@ func (h *Host) ConnectTo(p *sim.Proc, peer string) (*Tunnel, error) {
 	if t, ok := h.tunnels[peer]; ok && t.established {
 		return t, nil
 	}
+	sp := h.cfg.Tracer.Start(nil, "connect", obs.Labels{Host: h.name, Net: h.network})
+	defer sp.End()
+	sp.Event("request %s", peer)
 	// Wait for establishment triggered by the punch exchange. The
 	// connect request is retried a few times: the rendezvous message or
 	// punch-order can be lost under connection storms. Whatever the
@@ -918,17 +938,25 @@ func (h *Host) ConnectTo(p *sim.Proc, peer string) (*Tunnel, error) {
 			// replication has not reached ours yet. Back off and retry;
 			// policy refusals and other errors stay immediate.
 			if attempt < 2 && transient {
+				sp.Event("transient not-found, retrying")
 				rpcErr = nil
 				done = false
 				p.Sleep(sim.Duration(attempt+1) * 2 * sim.Second)
 				continue
 			}
+			sp.Event("refused: %v", rpcErr)
 			return nil, rpcErr
 		}
 	}
 	t, ok := h.tunnels[peer]
 	if !ok || !t.established {
+		sp.Event("punch failed")
 		return nil, ErrPunchFailed
+	}
+	if t.Relayed {
+		sp.Event("established %s (relayed)", peer)
+	} else {
+		sp.Event("established %s at %v", peer, t.Remote)
 	}
 	return t, nil
 }

@@ -252,5 +252,8 @@ func FailoverOnce(o Options, brokers int, killAt sim.Duration) (*FailoverRow, er
 	row.Cleanup = cleanup.Get("replica_adopted") +
 		cleanup.Get("replica_dead_broker") + cleanup.Get("replica_expired")
 	row.Stray = witness.RecordsFor("fonet")
+	if err := w.ScrapeCheck(); err != nil {
+		return nil, err
+	}
 	return row, nil
 }

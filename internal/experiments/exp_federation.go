@@ -281,5 +281,8 @@ func FederationOnce(o Options, brokers int, lag sim.Duration) (*FederationRow, e
 	}
 	row.Replications = totals.Get("replications_out")
 	row.Stray = witness.RecordsFor("fednet")
+	if err := w.ScrapeCheck(); err != nil {
+		return nil, err
+	}
 	return row, nil
 }

@@ -221,5 +221,8 @@ func PlacementOnce(o Options, brokers, memMB int, spread string) (*PlacementRow,
 
 	row.PostOK, row.PostN = pingSweep("post")
 	row.Stray = witness.RecordsFor("pnet")
+	if err := w.ScrapeCheck(); err != nil {
+		return nil, err
+	}
 	return row, nil
 }

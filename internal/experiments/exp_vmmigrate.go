@@ -179,5 +179,8 @@ func MigrationOnce(o Options, memMB int, dirtyRate float64, fault string) (*Migr
 	})
 	w.Eng.RunFor(20 * time.Second)
 	row.PingAfter = pinged && pingErr == nil
+	if err := w.ScrapeCheck(); err != nil {
+		return nil, err
+	}
 	return row, nil
 }

@@ -231,5 +231,8 @@ func vpcOnce(o Options, tenants, hostsPer int) (*VPCRow, error) {
 		}
 		row.LookupLeaks = leaks
 	}
+	if err := w.ScrapeCheck(); err != nil {
+		return nil, err
+	}
 	return row, nil
 }

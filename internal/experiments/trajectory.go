@@ -1,0 +1,438 @@
+// The pinned macro-benchmark trajectory: five end-to-end benchmarks —
+// tagged forwarding, flood suppression, quota token buckets, rendezvous
+// lookup latency/throughput, and live migration — whose results are
+// emitted as BENCH_<pr>.json rows. The simulation is bit-for-bit
+// deterministic per seed, so a committed trajectory point doubles as
+// the CI regression baseline: CompareBench fails the build when a
+// directed metric moves more than 10% the wrong way against the
+// previous point.
+
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"wavnet/internal/apps"
+	"wavnet/internal/metrics"
+	"wavnet/internal/netsim"
+	"wavnet/internal/obs"
+	"wavnet/internal/rendezvous"
+	"wavnet/internal/scenario"
+	"wavnet/internal/sim"
+	"wavnet/internal/vm"
+	"wavnet/internal/vpc"
+)
+
+// BenchRow is one (benchmark, metric) measurement of a trajectory point.
+type BenchRow struct {
+	PR     int     `json:"pr"`
+	Bench  string  `json:"bench"`
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+	Unit   string  `json:"unit"`
+}
+
+// BenchDirections declares, per "bench/metric", which way is better:
+// +1 means higher is better (throughput), -1 means lower is better
+// (latency, downtime, error). Metrics absent here are informational and
+// never fail the trajectory comparison.
+var BenchDirections = map[string]int{
+	"forward_tagged/throughput_mbps": +1,
+	"flood_suppress/suppressed":      +1,
+	"quota/quota_error_pct":          -1,
+	"quota/open_mbps":                +1,
+	"rendezvous_ops/lookup_p50_ms":   -1,
+	"rendezvous_ops/lookup_p95_ms":   -1,
+	"rendezvous_ops/lookups_per_sec": +1,
+	"migration/migration_s":          -1,
+	"migration/downtime_ms":          -1,
+	"migration/migrate_mbps":         +1,
+}
+
+// CompareBench diffs a trajectory point against a baseline and returns
+// one message per regression: a directed metric that moved more than
+// 10% the wrong way. Metrics without a declared direction, and metrics
+// present in only one of the two points, are skipped.
+func CompareBench(cur, base []BenchRow) []string {
+	curBy := make(map[string]BenchRow, len(cur))
+	for _, r := range cur {
+		curBy[r.Bench+"/"+r.Metric] = r
+	}
+	var regressions []string
+	for _, b := range base {
+		key := b.Bench + "/" + b.Metric
+		dir, directed := BenchDirections[key]
+		if !directed || b.Value == 0 {
+			continue
+		}
+		c, ok := curBy[key]
+		if !ok {
+			continue
+		}
+		change := (c.Value - b.Value) / b.Value
+		if float64(dir)*change < -0.10 {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.4g -> %.4g %s (%+.1f%%)", key, b.Value, c.Value, b.Unit, 100*change))
+		}
+	}
+	return regressions
+}
+
+// MarshalBench renders trajectory rows as the committed BENCH_<pr>.json
+// (one indented JSON array, trailing newline).
+func MarshalBench(rows []BenchRow) ([]byte, error) {
+	b, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// BenchResult holds one trajectory point.
+type BenchResult struct{ Rows []BenchRow }
+
+// String renders the trajectory point as a table.
+func (r *BenchResult) String() string {
+	t := table{
+		title:  "Trajectory point — pinned macro-benchmarks (BENCH_<pr>.json)",
+		header: []string{"Bench", "Metric", "Value", "Unit"},
+	}
+	for _, row := range r.Rows {
+		t.addRow(row.Bench, row.Metric, fmt.Sprintf("%.4g", row.Value), row.Unit)
+	}
+	t.notes = append(t.notes,
+		"deterministic per seed: the committed point is also the CI regression baseline",
+		"CompareBench fails CI when a directed metric moves >10% the wrong way")
+	return t.String()
+}
+
+// Trajectory runs the pinned macro-benchmark suite and returns one row
+// per metric, stamped with the trajectory point's PR number.
+func Trajectory(o Options, pr int) (*BenchResult, error) {
+	o = o.withDefaults()
+	res := &BenchResult{}
+	add := func(bench, metric string, value float64, unit string) {
+		res.Rows = append(res.Rows, BenchRow{PR: pr, Bench: bench, Metric: metric, Value: value, Unit: unit})
+	}
+	steps := []struct {
+		name string
+		run  func(Options, func(string, string, float64, string)) error
+	}{
+		{"forward_tagged", benchForwardTagged},
+		{"flood_suppress", benchFloodSuppress},
+		{"quota", benchQuota},
+		{"rendezvous_ops", benchRendezvousOps},
+		{"migration", benchMigration},
+	}
+	for _, s := range steps {
+		if err := s.run(o, add); err != nil {
+			return nil, fmt.Errorf("trajectory %s: %w", s.name, err)
+		}
+	}
+	return res, nil
+}
+
+// benchForwardTagged measures bulk TCP throughput across one tenant's
+// VNI-tagged tunnel — the core data path every other benchmark rides —
+// plus the declarative setup time to admit both members.
+func benchForwardTagged(o Options, add func(string, string, float64, string)) error {
+	w, err := scenario.Build(o.Seed, scenario.EmulatedWANSpecs(2, 100e6), nil)
+	if err != nil {
+		return err
+	}
+	setupStart := w.Eng.Now()
+	spec := vpc.TenantSpec{
+		Tenant: "bench",
+		Networks: []vpc.NetworkSpec{{
+			Name: "fwd", CIDR: "10.60.0.0/24", StaticAddressing: true,
+			Members: []string{"pc00", "pc01"},
+		}},
+	}
+	if _, err := w.ApplySync(spec); err != nil {
+		return err
+	}
+	setup := w.Eng.Now().Sub(setupStart)
+	n, _ := w.VPC().Get("fwd")
+	src, dst := n.Members()[0], n.Members()[1]
+	if _, err := apps.StartSink(dst.Stack, 5001); err != nil {
+		return err
+	}
+	bytes := o.scaledBytes(2<<20, 32<<20)
+	var rate float64
+	var terr error
+	w.Eng.Spawn("ttcp", func(p *sim.Proc) {
+		r, err := apps.TTCP(p, src.Stack, netsim.Addr{IP: dst.IP, Port: 5001}, bytes, 16384)
+		if err != nil {
+			terr = err
+			return
+		}
+		rate = metrics.Rate(r.Bytes, r.Elapsed)
+	})
+	w.Eng.RunFor(4 * time.Minute)
+	if terr != nil {
+		return terr
+	}
+	if rate == 0 {
+		return fmt.Errorf("transfer never finished")
+	}
+	add("forward_tagged", "throughput_mbps", rate, "Mbps")
+	add("forward_tagged", "setup_s", setup.Seconds(), "s")
+	return nil
+}
+
+// benchFloodSuppress counts VNI-aware flood suppression across a forced
+// cross-tenant tunnel: tagged broadcasts for an unowned address must
+// die at the sender instead of burning WAN bandwidth.
+func benchFloodSuppress(o Options, add func(string, string, float64, string)) error {
+	w, err := scenario.Build(o.Seed, scenario.EmulatedWANSpecs(4, 100e6), nil)
+	if err != nil {
+		return err
+	}
+	// Force a shared-fabric tunnel between the two tenants' anchors
+	// before the split, so there is a cross-tenant path to suppress on.
+	if err := w.WAVNetUp("pc00", "pc02"); err != nil {
+		return err
+	}
+	tenants := []struct {
+		name string
+		keys []string
+	}{
+		{"t0", []string{"pc00", "pc01"}},
+		{"t1", []string{"pc02", "pc03"}},
+	}
+	for _, tnt := range tenants {
+		spec := vpc.TenantSpec{
+			Tenant: tnt.name,
+			Networks: []vpc.NetworkSpec{{
+				Name: "net-" + tnt.name, CIDR: "10.0.0.0/24", StaticAddressing: true,
+				Members: tnt.keys,
+			}},
+		}
+		if _, err := w.ApplySync(spec); err != nil {
+			return err
+		}
+	}
+	n, _ := w.VPC().Get("net-t0")
+	attacker := n.Members()[0]
+	suppressedBefore := attacker.Host.VPCCounters().Get("suppressed_floods")
+	floodedBefore := attacker.Host.VPCCounters().Get("flooded_frames")
+	w.Eng.Spawn("flood", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			// Inside the CIDR but owned by no one: every attempt floods
+			// ARP through all tunnels, including the forced one.
+			attacker.Stack.Ping(p, n.CIDR.Base+200, 56, time.Second)
+		}
+	})
+	w.Eng.RunFor(30 * time.Second)
+	suppressed := attacker.Host.VPCCounters().Get("suppressed_floods") - suppressedBefore
+	flooded := attacker.Host.VPCCounters().Get("flooded_frames") - floodedBefore
+	if suppressed == 0 {
+		return fmt.Errorf("no floods were suppressed toward the forced tunnel")
+	}
+	add("flood_suppress", "suppressed", float64(suppressed), "frames")
+	add("flood_suppress", "suppression_ratio",
+		float64(suppressed)/float64(suppressed+flooded), "ratio")
+	return nil
+}
+
+// benchQuota measures the token-bucket policer's accuracy: a metered
+// tenant's transfer must land on its quota while an unmetered tenant
+// runs open on the same fabric.
+func benchQuota(o Options, add func(string, string, float64, string)) error {
+	const quotaBps = 4e6
+	w, err := scenario.Build(o.Seed, scenario.EmulatedWANSpecs(4, 100e6), nil)
+	if err != nil {
+		return err
+	}
+	limited := vpc.TenantSpec{
+		Tenant: "limited",
+		Networks: []vpc.NetworkSpec{{
+			Name: "lim", CIDR: "10.40.0.0/24", StaticAddressing: true,
+			Members: []string{"pc00", "pc01"},
+		}},
+		Quota: vpc.QuotaSpec{RateBps: quotaBps},
+	}
+	open := vpc.TenantSpec{
+		Tenant: "open",
+		Networks: []vpc.NetworkSpec{{
+			Name: "opn", CIDR: "10.50.0.0/24", StaticAddressing: true,
+			Members: []string{"pc02", "pc03"},
+		}},
+	}
+	if _, err := w.ApplySync(limited); err != nil {
+		return err
+	}
+	if _, err := w.ApplySync(open); err != nil {
+		return err
+	}
+	bytes := o.scaledBytes(1<<20, 4<<20)
+	var limMbps, opnMbps float64
+	var limErr, opnErr error
+	run := func(netName string, out *float64, errOut *error) {
+		n, _ := w.VPC().Get(netName)
+		src, dst := n.Members()[0], n.Members()[1]
+		if _, err := apps.StartSink(dst.Stack, 5001); err != nil {
+			*errOut = err
+			return
+		}
+		w.Eng.Spawn("ttcp-"+netName, func(p *sim.Proc) {
+			r, err := apps.TTCP(p, src.Stack, netsim.Addr{IP: dst.IP, Port: 5001}, bytes, 16384)
+			if err != nil {
+				*errOut = err
+				return
+			}
+			*out = metrics.Rate(r.Bytes, r.Elapsed)
+		})
+	}
+	run("lim", &limMbps, &limErr)
+	run("opn", &opnMbps, &opnErr)
+	// Budget for the metered transfer: the whole image at the quota
+	// rate, padded for TCP recovery after policer drops.
+	budget := 4*time.Minute + time.Duration(float64(bytes*8)/quotaBps*4)*time.Second
+	w.Eng.RunFor(budget)
+	if limErr != nil {
+		return fmt.Errorf("limited transfer: %w", limErr)
+	}
+	if opnErr != nil {
+		return fmt.Errorf("open transfer: %w", opnErr)
+	}
+	if limMbps == 0 || opnMbps == 0 {
+		return fmt.Errorf("a transfer never finished (limited %.2f, open %.2f Mbps)", limMbps, opnMbps)
+	}
+	quotaMbps := quotaBps / 1e6
+	errPct := 100 * (limMbps - quotaMbps) / quotaMbps
+	if errPct < 0 {
+		errPct = -errPct
+	}
+	add("quota", "limited_mbps", limMbps, "Mbps")
+	add("quota", "open_mbps", opnMbps, "Mbps")
+	add("quota", "quota_error_pct", errPct, "%")
+	return nil
+}
+
+// benchRendezvousOps drives a federated two-broker control plane with a
+// lookup storm and reports the latency quantiles — straight out of the
+// obs histogram — plus sustained lookup throughput.
+func benchRendezvousOps(o Options, add func(string, string, float64, string)) error {
+	w, err := scenario.Build(o.Seed, scenario.EmulatedWANSpecs(6, 100e6), nil)
+	if err != nil {
+		return err
+	}
+	if _, err := w.AddBroker("b1", rendezvous.Config{}); err != nil {
+		return err
+	}
+	keys := []string{"pc00", "pc01", "pc02", "pc03", "pc04", "pc05"}
+	for _, key := range keys[3:] {
+		if err := w.SetHome(key, "b1"); err != nil {
+			return err
+		}
+	}
+	spec := vpc.TenantSpec{
+		Tenant: "bench",
+		Networks: []vpc.NetworkSpec{{
+			Name: "rdz", CIDR: "10.66.0.0/24", StaticAddressing: true,
+			Members: keys,
+			Brokers: []string{scenario.PrimaryBroker, "b1"},
+		}},
+	}
+	if _, err := w.ApplySync(spec); err != nil {
+		return err
+	}
+	// Let replication flush so cross-broker lookups resolve locally.
+	w.Eng.RunFor(15 * time.Second)
+
+	hist := obs.NewHistogram()
+	rounds := 5
+	if !o.Quick {
+		rounds = 20
+	}
+	lookups := 0
+	done := 0
+	var lookErr error
+	stormStart := w.Eng.Now()
+	for i, key := range keys {
+		i, key := i, key
+		// Always resolve a host homed on the other broker.
+		target := keys[(i+3)%len(keys)]
+		h := w.M(key).WAV
+		w.Eng.Spawn("lookup-"+key, func(p *sim.Proc) {
+			defer func() { done++ }()
+			for r := 0; r < rounds; r++ {
+				t0 := p.Now()
+				recs, err := h.Lookup(p, target)
+				if err != nil {
+					lookErr = err
+					return
+				}
+				if len(recs) == 0 {
+					lookErr = fmt.Errorf("%s resolved %s to nothing", key, target)
+					return
+				}
+				hist.Observe(p.Now().Sub(t0).Seconds() * 1e3)
+				lookups++
+			}
+		})
+	}
+	for spent := 0; done < len(keys) && spent < 120; spent++ {
+		w.Eng.RunFor(time.Second)
+	}
+	if lookErr != nil {
+		return lookErr
+	}
+	if done < len(keys) {
+		return fmt.Errorf("lookup storm never finished (%d/%d workers)", done, len(keys))
+	}
+	elapsed := w.Eng.Now().Sub(stormStart).Seconds()
+	if elapsed <= 0 || hist.Count() == 0 {
+		return fmt.Errorf("lookup storm measured nothing")
+	}
+	add("rendezvous_ops", "lookup_p50_ms", hist.P50(), "ms")
+	add("rendezvous_ops", "lookup_p95_ms", hist.P95(), "ms")
+	add("rendezvous_ops", "lookups_per_sec", float64(lookups)/elapsed, "ops/s")
+	return nil
+}
+
+// benchMigration live-migrates a VM between two machines and reports
+// total time, downtime, and effective image transfer rate.
+func benchMigration(o Options, add func(string, string, float64, string)) error {
+	w, err := scenario.Build(o.Seed, scenario.EmulatedWANSpecs(3, 100e6), nil)
+	if err != nil {
+		return err
+	}
+	if err := w.WAVNetUp(); err != nil {
+		return err
+	}
+	memMB := 32
+	if !o.Quick {
+		memMB = 256
+	}
+	v, err := w.AddVM("pc00", "vm-bench", netsim.MustParseIP("10.77.0.50"), vm.Config{
+		MemoryMB:  memMB,
+		DirtyRate: 2000,
+	})
+	if err != nil {
+		return err
+	}
+	var mrep *vm.MigrationReport
+	var migErr error
+	done := false
+	w.Eng.Spawn("migrate", func(p *sim.Proc) {
+		mrep, migErr = v.Migrate(p, w.M("pc01").WAV)
+		done = true
+	})
+	for spent := 0; !done && spent < 20*60; spent += 5 {
+		w.Eng.RunFor(5 * time.Second)
+	}
+	if !done {
+		return fmt.Errorf("migration never returned")
+	}
+	if migErr != nil {
+		return migErr
+	}
+	add("migration", "migration_s", mrep.Total().Seconds(), "s")
+	add("migration", "downtime_ms", mrep.Downtime.Seconds()*1e3, "ms")
+	add("migration", "migrate_mbps", metrics.Rate(mrep.BytesSent, mrep.Total()), "Mbps")
+	return nil
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func row(bench, metric string, v float64) BenchRow {
+	return BenchRow{PR: 6, Bench: bench, Metric: metric, Value: v, Unit: "u"}
+}
+
+func TestCompareBenchDirections(t *testing.T) {
+	base := []BenchRow{
+		row("forward_tagged", "throughput_mbps", 100), // higher is better
+		row("migration", "downtime_ms", 100),          // lower is better
+		row("forward_tagged", "setup_s", 100),         // undirected: informational
+	}
+
+	// Within 10% either way: clean.
+	cur := []BenchRow{
+		row("forward_tagged", "throughput_mbps", 95),
+		row("migration", "downtime_ms", 105),
+		row("forward_tagged", "setup_s", 900),
+	}
+	if regr := CompareBench(cur, base); len(regr) != 0 {
+		t.Fatalf("within tolerance, got regressions: %v", regr)
+	}
+
+	// Throughput collapse and downtime blow-up both flag; the
+	// undirected metric never does; improvements never do.
+	cur = []BenchRow{
+		row("forward_tagged", "throughput_mbps", 50),
+		row("migration", "downtime_ms", 200),
+		row("forward_tagged", "setup_s", 900),
+	}
+	regr := CompareBench(cur, base)
+	if len(regr) != 2 {
+		t.Fatalf("want 2 regressions, got %v", regr)
+	}
+	joined := strings.Join(regr, "\n")
+	for _, want := range []string{"forward_tagged/throughput_mbps", "migration/downtime_ms"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %s in %v", want, regr)
+		}
+	}
+
+	// A metric present only in the baseline (or only current) is skipped.
+	if regr := CompareBench(nil, base); len(regr) != 0 {
+		t.Fatalf("missing current metrics must not flag: %v", regr)
+	}
+
+	// Improvements in the good direction never flag.
+	cur = []BenchRow{
+		row("forward_tagged", "throughput_mbps", 300),
+		row("migration", "downtime_ms", 10),
+	}
+	if regr := CompareBench(cur, base); len(regr) != 0 {
+		t.Fatalf("improvements flagged: %v", regr)
+	}
+}
+
+func TestMarshalBenchRoundTrip(t *testing.T) {
+	rows := []BenchRow{row("quota", "quota_error_pct", 12.5)}
+	data, err := MarshalBench(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[len(data)-1] != '\n' {
+		t.Error("missing trailing newline")
+	}
+	var back []BenchRow
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0] != rows[0] {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+	for _, key := range []string{`"pr"`, `"bench"`, `"metric"`, `"value"`, `"unit"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("schema key %s missing in %s", key, data)
+		}
+	}
+}
+
+// TestTrajectoryQuick runs the full pinned suite at quick scale: every
+// bench must produce its rows with the agreed names, since CI and the
+// committed BENCH_<pr>.json depend on them.
+func TestTrajectoryQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trajectory suite in -short")
+	}
+	res, err := Trajectory(Options{Seed: 1, Quick: true}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]bool)
+	for _, r := range res.Rows {
+		if r.PR != 6 {
+			t.Errorf("row %s/%s has pr %d", r.Bench, r.Metric, r.PR)
+		}
+		got[r.Bench+"/"+r.Metric] = true
+	}
+	for key := range BenchDirections {
+		if !got[key] {
+			t.Errorf("directed metric %s missing from trajectory point", key)
+		}
+	}
+	if len(res.Rows) < 10 {
+		t.Fatalf("suspiciously small trajectory point: %d rows", len(res.Rows))
+	}
+}

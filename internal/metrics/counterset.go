@@ -81,12 +81,18 @@ func (c *CounterSet) snapshot() ([]string, map[string]uint64) {
 // Delta returns a new set holding, for every counter of c, its value
 // minus prev's (0 when prev never saw the name). Experiments snapshot a
 // CounterSet before a measured phase and Delta it afterwards to report
-// only the phase's activity.
+// only the phase's activity. A counter that went backwards — a
+// restarted broker or host starts its totals over from zero — clamps
+// to zero instead of wrapping uint64 into a garbage delta.
 func (c *CounterSet) Delta(prev *CounterSet) *CounterSet {
 	names, vals := c.snapshot()
 	out := NewCounterSet()
 	for _, name := range names {
-		out.Set(name, vals[name]-prev.Get(name))
+		v, p := vals[name], prev.Get(name)
+		if v < p {
+			v = p
+		}
+		out.Set(name, v-p)
 	}
 	return out
 }

@@ -56,6 +56,24 @@ func TestCounterSetDelta(t *testing.T) {
 	}
 }
 
+func TestCounterSetDeltaClampsRegression(t *testing.T) {
+	// A restarted source starts its totals over: the current value sits
+	// below the snapshot. The delta must clamp to zero, not wrap uint64.
+	before := NewCounterSet()
+	before.Set("joins", 40)
+	before.Set("pulses", 7)
+	after := NewCounterSet()
+	after.Set("joins", 3) // restarted and re-counted a little
+	after.Set("pulses", 7)
+	d := after.Delta(before)
+	if d.Get("joins") != 0 {
+		t.Fatalf("reset counter delta = %d, want 0 (clamped)", d.Get("joins"))
+	}
+	if d.Get("pulses") != 0 {
+		t.Fatalf("unchanged counter delta = %d, want 0", d.Get("pulses"))
+	}
+}
+
 // TestCounterSetDeltaConcurrent hammers one set from concurrent writers
 // while readers snapshot Deltas, Merges and renders against it. The
 // simulation itself is single-threaded, but every experiment driver now

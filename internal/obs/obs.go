@@ -1,0 +1,50 @@
+// Package obs is the fabric-wide observability layer: a labeled
+// metrics registry (counters, gauges, log-scale histograms) and a
+// sim-time span tracer.
+//
+// The registry generalizes metrics.CounterSet — every subsystem keeps
+// exporting a flat CounterSet, and scrapers (scenario.World.Scrape)
+// plug those sets into a Registry under a {tenant, net, broker, host}
+// label set so per-layer series survive aggregation. One snapshot /
+// delta / merge API covers the whole registry, with a stable text and
+// JSON render for experiment tables and the BENCH_* trajectory files.
+//
+// The tracer records spans stamped with sim.Time and threaded by a
+// causality (trace) ID through the fabric's multi-step flows — Apply
+// reconciliation, punch orchestration, broker re-home elections,
+// migration rounds — so chaos tests can assert on timelines ("the
+// re-home closed within three pulse periods of the kill") instead of
+// terminal counters alone. All span methods are nil-receiver safe:
+// subsystems trace unconditionally and a nil *Trace disables it.
+package obs
+
+import "strings"
+
+// Labels identifies one series: the four dimensions the fabric slices
+// by. Empty fields are omitted from renders; the zero value labels a
+// global series. Labels is comparable and used as a map key.
+type Labels struct {
+	Tenant string
+	Net    string
+	Broker string
+	Host   string
+}
+
+// String renders the label set as {tenant=...,net=...,broker=...,host=...}
+// with empty dimensions omitted ("" for the zero value).
+func (l Labels) String() string {
+	var parts []string
+	add := func(k, v string) {
+		if v != "" {
+			parts = append(parts, k+"="+v)
+		}
+	}
+	add("tenant", l.Tenant)
+	add("net", l.Net)
+	add("broker", l.Broker)
+	add("host", l.Host)
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,336 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"wavnet/internal/metrics"
+	"wavnet/internal/sim"
+)
+
+func TestHistogramQuantilesKnownDistribution(t *testing.T) {
+	h := NewHistogram()
+	// Uniform 1..1000: the true p50 is ~500, p95 ~950, p99 ~990.
+	for v := 1; v <= 1000; v++ {
+		h.Observe(float64(v))
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max = %g, want 1000", h.Max())
+	}
+	if got, want := h.Sum(), float64(1000*1001/2); got != want {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	// Log-scale buckets bound the quantile error at a factor of two;
+	// geometric interpolation should land much closer.
+	checks := []struct {
+		q, want float64
+	}{{0.50, 500}, {0.95, 950}, {0.99, 990}}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if got < c.want/2 || got > c.want*2 {
+			t.Errorf("q%g = %g, want within 2x of %g", c.q, got, c.want)
+		}
+	}
+	if h.Quantile(0) != 1 {
+		t.Errorf("q0 = %g, want observed min 1", h.Quantile(0))
+	}
+	if h.Quantile(1) != 1000 {
+		t.Errorf("q1 = %g, want observed max 1000", h.Quantile(1))
+	}
+}
+
+func TestHistogramPointMass(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Observe(42)
+	}
+	// Every quantile of a point mass is the point: min/max clamping
+	// must defeat bucket-width error entirely.
+	for _, q := range []float64{0.01, 0.5, 0.95, 0.99} {
+		if got := h.Quantile(q); got != 42 {
+			t.Errorf("q%g = %g, want 42", q, got)
+		}
+	}
+	if h.P50() != 42 || h.P95() != 42 || h.P99() != 42 || h.Max() != 42 {
+		t.Errorf("accessors = %g/%g/%g/%g, want all 42", h.P50(), h.P95(), h.P99(), h.Max())
+	}
+}
+
+func TestHistogramDelta(t *testing.T) {
+	prev := NewHistogram()
+	cur := NewHistogram()
+	for v := 1; v <= 10; v++ {
+		prev.Observe(float64(v))
+		cur.Observe(float64(v))
+	}
+	for v := 100; v <= 120; v++ {
+		cur.Observe(float64(v))
+	}
+	d := cur.delta(prev)
+	if d.Count() != 21 {
+		t.Fatalf("delta count = %d, want 21", d.Count())
+	}
+	// A source that reset (prev > cur) clamps instead of wrapping.
+	d2 := prev.delta(cur)
+	if d2.Count() != 0 {
+		t.Fatalf("reset delta count = %d, want 0", d2.Count())
+	}
+}
+
+func TestRegistryLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	acme := Labels{Tenant: "acme", Net: "red", Host: "pc00"}
+	beta := Labels{Tenant: "beta", Net: "blue", Host: "pc01"}
+	r.Counter("flooded_frames", acme).Add(7)
+	r.Counter("flooded_frames", beta).Add(3)
+	r.Gauge("tunnels", acme).Set(4)
+	r.Histogram("lookup_ms", Labels{Broker: "rdv"}).Observe(2.5)
+
+	if v, ok := r.CounterValue("flooded_frames", acme); !ok || v != 7 {
+		t.Fatalf("acme flooded_frames = %d,%v", v, ok)
+	}
+	if r.Total("flooded_frames") != 10 {
+		t.Fatalf("total = %d, want 10", r.Total("flooded_frames"))
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want 4", r.Len())
+	}
+
+	cs := metrics.NewCounterSet()
+	cs.Add("quota_drops", 5)
+	r.AddCounterSet(acme, cs)
+	r.AddCounterSet(acme, cs) // same labels: sums
+	if v, _ := r.CounterValue("quota_drops", acme); v != 10 {
+		t.Fatalf("quota_drops = %d, want 10", v)
+	}
+
+	out := r.String()
+	if want := "flooded_frames{tenant=acme,net=red,host=pc00} 7"; !contains(out, want) {
+		t.Errorf("text render missing %q:\n%s", want, out)
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("json: %v", err)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal(b, &rows); err != nil {
+		t.Fatalf("json round-trip: %v", err)
+	}
+	if len(rows) != r.Len() {
+		t.Fatalf("json rows = %d, want %d", len(rows), r.Len())
+	}
+}
+
+func TestRegistryMergeIdentity(t *testing.T) {
+	r := NewRegistry()
+	l := Labels{Host: "pc00"}
+	r.Counter("frames", l).Add(9)
+	r.Gauge("load", l).Set(1.5)
+	for v := 1; v <= 50; v++ {
+		r.Histogram("lat_ms", l).Observe(float64(v))
+	}
+	// Merging into an empty registry is the identity.
+	m := NewRegistry()
+	m.Merge(r)
+	if m.String() != r.String() {
+		t.Fatalf("merge-into-empty changed the registry:\n%s\nvs\n%s", m.String(), r.String())
+	}
+	// Merging an empty registry is also the identity.
+	before := r.String()
+	r.Merge(NewRegistry())
+	if r.String() != before {
+		t.Fatalf("merge-of-empty changed the registry")
+	}
+	// Snapshot isolates: recording after Snapshot must not leak in.
+	snap := r.Snapshot()
+	r.Counter("frames", l).Add(100)
+	if v, _ := snap.CounterValue("frames", l); v != 9 {
+		t.Fatalf("snapshot leaked: frames = %d, want 9", v)
+	}
+}
+
+func TestRegistryDeltaClampsResets(t *testing.T) {
+	prev := NewRegistry()
+	cur := NewRegistry()
+	l := Labels{Broker: "b2"}
+	prev.Counter("joins", l).Set(40) // before the broker restarted
+	cur.Counter("joins", l).Set(6)   // restarted: totals reset
+	d := cur.Delta(prev)
+	if v, _ := d.CounterValue("joins", l); v != 0 {
+		t.Fatalf("reset delta = %d, want 0 (clamped)", v)
+	}
+	cur.Counter("joins", l).Add(100)
+	d = cur.Delta(prev)
+	if v, _ := d.CounterValue("joins", l); v != 66 {
+		t.Fatalf("delta = %d, want 66", v)
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from recorder and
+// scraper goroutines; run under -race this is the experiment-driver
+// concurrency of World.Scrape.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			l := Labels{Host: fmt.Sprintf("pc%02d", g%4)}
+			for i := 0; i < 2000; i++ {
+				r.Counter("frames", l).Inc()
+				r.Gauge("load", l).Add(0.5)
+				r.Histogram("lat_ms", l).Observe(float64(i % 100))
+			}
+		}(g)
+	}
+	var wgScrape sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		wgScrape.Add(1)
+		go func() {
+			defer wgScrape.Done()
+			for i := 0; i < 50; i++ {
+				snap := r.Snapshot()
+				_ = snap.String()
+				_, _ = json.Marshal(snap)
+				_ = snap.Delta(r)
+			}
+		}()
+	}
+	wg.Wait()
+	wgScrape.Wait()
+	if got := r.Total("frames"); got != 8*2000 {
+		t.Fatalf("frames total = %d, want %d", got, 8*2000)
+	}
+	l0 := Labels{Host: "pc00"}
+	if v, _ := r.GaugeValue("load", l0); math.Abs(v-2*2000*0.5) > 1e-9 {
+		t.Fatalf("gauge = %g, want %g", v, 2*2000*0.5)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 1; i <= 1000; i++ {
+				h.Observe(float64(i))
+				if i%100 == 0 {
+					_ = h.P95()
+					_ = h.String()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var tr *Trace
+	sp := tr.Start(nil, "noop", Labels{})
+	if sp != nil {
+		t.Fatalf("nil trace returned non-nil span")
+	}
+	// Every method must tolerate the nil span.
+	sp.Event("ignored %d", 1)
+	sp.End()
+	if sp.Ended() || sp.Name() != "" || sp.Duration() != 0 || sp.TraceID() != 0 {
+		t.Fatalf("nil span accessors not zero")
+	}
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Spans() != nil || tr.Dump() != "" {
+		t.Fatalf("nil trace accessors not zero")
+	}
+	tr.Reset()
+}
+
+func TestSpanTreeAndExport(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tr := NewTrace(eng, 0)
+	var root, child *Span
+	eng.Schedule(10*sim.Millisecond, func() {
+		root = tr.Start(nil, "migrate", Labels{Host: "pc00"})
+		root.Event("pc00 -> pc01")
+	})
+	eng.Schedule(20*sim.Millisecond, func() {
+		child = tr.Start(root, "migrate.round", Labels{Host: "pc00"})
+	})
+	eng.Schedule(30*sim.Millisecond, func() { child.End() })
+	eng.Schedule(40*sim.Millisecond, func() { root.End() })
+	eng.Run()
+
+	if root.TraceID() != child.TraceID() {
+		t.Fatalf("causality ID not threaded: %d vs %d", root.TraceID(), child.TraceID())
+	}
+	if child.ParentID() != root.ID() {
+		t.Fatalf("parent not linked")
+	}
+	if got := child.Duration(); got != 10*sim.Millisecond {
+		t.Fatalf("child duration = %v, want 10ms", got)
+	}
+	if !root.HasEvent("pc01") {
+		t.Fatalf("event lost")
+	}
+	kids := tr.Children(root)
+	if len(kids) != 1 || kids[0] != child {
+		t.Fatalf("Children = %v", kids)
+	}
+	if got := tr.Find("migrate.round"); len(got) != 1 {
+		t.Fatalf("Find = %d spans", len(got))
+	}
+	// End is idempotent.
+	root.End()
+	if root.Duration() != 30*sim.Millisecond {
+		t.Fatalf("re-End moved the end time")
+	}
+
+	dump := tr.Dump()
+	if !contains(dump, "migrate{host=pc00}") || !contains(dump, "trace 1") {
+		t.Fatalf("dump missing span line:\n%s", dump)
+	}
+	b, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatalf("json: %v", err)
+	}
+	var rows []spanJSON
+	if err := json.Unmarshal(b, &rows); err != nil {
+		t.Fatalf("json round-trip: %v", err)
+	}
+	if len(rows) != 2 || rows[0].Name != "migrate" || rows[1].Parent != rows[0].Span {
+		t.Fatalf("json export wrong: %+v", rows)
+	}
+}
+
+func TestTraceBounded(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tr := NewTrace(eng, 4)
+	var last *Span
+	for i := 0; i < 6; i++ {
+		last = tr.Start(nil, "s", Labels{})
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tr.Dropped())
+	}
+	// A dropped span still functions (events, End, parenting).
+	last.Event("still works")
+	last.End()
+	if !last.Ended() {
+		t.Fatalf("dropped span cannot end")
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -16,6 +16,7 @@ import (
 	"wavnet/internal/grouping"
 	"wavnet/internal/nat"
 	"wavnet/internal/netsim"
+	"wavnet/internal/obs"
 	"wavnet/internal/sim"
 	"wavnet/internal/stun"
 )
@@ -165,6 +166,12 @@ type Config struct {
 	// not-found so requesters retry after the targets re-home (default
 	// SessionTTL).
 	BrokerTTL sim.Duration
+
+	// Name labels this broker's spans and scraped series (defaults to
+	// the broker's dial address); Tracer records the punch-orchestration
+	// spans (request → fwd-connect → ack), nil disables tracing.
+	Name   string
+	Tracer *obs.Trace
 }
 
 func (c Config) withDefaults() Config {
@@ -208,6 +215,7 @@ type pendingIntro struct {
 	hostID  uint64      // the host's connect request ID
 	remote  netsim.Addr // the broker the intro was forwarded to; only it may resolve
 	created sim.Time
+	span    *obs.Span // the punch span, closed when the intro resolves
 }
 
 // Server is one rendezvous server.
@@ -301,6 +309,9 @@ func NewServer(host *netsim.Host, stunAltIP netsim.IP, cfg Config) (*Server, err
 		dirty:        make(map[string]bool),
 		peerSeen:     make(map[netsim.Addr]sim.Time),
 		locator:      NewLocator(),
+	}
+	if s.cfg.Name == "" {
+		s.cfg.Name = s.Addr().String()
 	}
 	sock, err := host.BindUDP(cfg.Port, s.onPacket)
 	if err != nil {
@@ -419,6 +430,8 @@ func (s *Server) expire() {
 	s.expireDeadBrokers()
 	for id, pi := range s.pendingIntro {
 		if pi.created < cutoff {
+			pi.span.Event("expired: intro never acked")
+			pi.span.End()
 			delete(s.pendingIntro, id)
 		}
 	}
@@ -684,15 +697,21 @@ func (s *Server) onConnect(src netsim.Addr, m *Msg) {
 	}
 	reqRec := requester.rec
 	target := m.Peer.Name
+	sp := s.cfg.Tracer.Start(nil, "punch", obs.Labels{Broker: s.cfg.Name, Net: reqRec.Net})
+	sp.Event("connect %s -> %s", m.Name, target)
 
 	if ses, local := s.sessions[target]; local {
 		if !s.netsLinked(ses.rec.Net, reqRec.Net) {
 			// Tenant isolation: the broker never introduces hosts across
 			// virtual networks unless an explicit peering allows it.
+			sp.Event("refused: cross-tenant")
+			sp.End()
 			s.reply(src, &Msg{Kind: kindError, ID: m.ID, Error: "cross-tenant connect refused"})
 			return
 		}
 		// Both hosts are ours: order both to punch.
+		sp.Event("local punch order")
+		sp.End()
 		s.orderPunch(reqRec, ses.rec, m.ID, src)
 		return
 	}
@@ -701,6 +720,8 @@ func (s *Server) onConnect(src netsim.Addr, m *Msg) {
 	// live NAT session to the target).
 	if rep, held := s.replicas[target]; held {
 		if !s.netsLinked(rep.rec.Net, reqRec.Net) {
+			sp.Event("refused: cross-tenant")
+			sp.End()
 			s.reply(src, &Msg{Kind: kindError, ID: m.ID, Error: "cross-tenant connect refused"})
 			return
 		}
@@ -710,6 +731,8 @@ func (s *Server) onConnect(src netsim.Addr, m *Msg) {
 			// transient not-found, because the target re-homes onto a
 			// surviving broker and the retry will find the fresh record.
 			s.StaleFwdRejects++
+			sp.Event("refused: stale replica, home broker %v dead", rep.rec.Server)
+			sp.End()
 			s.reply(src, &Msg{Kind: kindError, ID: m.ID, Code: CodeNotFound,
 				Error: "home broker of " + target + " unresponsive"})
 			return
@@ -717,8 +740,9 @@ func (s *Server) onConnect(src netsim.Addr, m *Msg) {
 		s.FwdConnectsOut++
 		s.nextID++
 		introID := s.nextID
+		sp.Event("fwd-connect to home broker %v", rep.rec.Server)
 		s.pendingIntro[introID] = pendingIntro{host: src, hostID: m.ID,
-			remote: rep.rec.Server, created: s.eng.Now()}
+			remote: rep.rec.Server, created: s.eng.Now(), span: sp}
 		s.sock.SendTo(rep.rec.Server, Encode(&Msg{
 			Kind: kindFwdConnect, ID: introID, Name: target, Rec: &reqRec,
 		}))
@@ -728,6 +752,8 @@ func (s *Server) onConnect(src netsim.Addr, m *Msg) {
 	id := m.ID
 	s.can.Lookup(namePoint(target, s.cfg.CANDims), func(res can.LookupResult, err error) {
 		if err != nil {
+			sp.Event("refused: CAN lookup failed: %v", err)
+			sp.End()
 			s.reply(src, &Msg{Kind: kindError, ID: id, Error: "target lookup: " + err.Error()})
 			return
 		}
@@ -740,6 +766,8 @@ func (s *Server) onConnect(src netsim.Addr, m *Msg) {
 				continue
 			}
 			if !s.netsLinked(rec.Net, reqRec.Net) {
+				sp.Event("refused: cross-tenant")
+				sp.End()
 				s.reply(src, &Msg{Kind: kindError, ID: id, Error: "cross-tenant connect refused"})
 				return
 			}
@@ -748,13 +776,16 @@ func (s *Server) onConnect(src netsim.Addr, m *Msg) {
 			s.RelayedIntroductions++
 			s.nextID++
 			introID := s.nextID
+			sp.Event("CAN introduce via broker %v", rec.Server)
 			s.pendingIntro[introID] = pendingIntro{host: src, hostID: id,
-				remote: rec.Server, created: s.eng.Now()}
+				remote: rec.Server, created: s.eng.Now(), span: sp}
 			s.sock.SendTo(rec.Server, Encode(&Msg{
 				Kind: kindIntroduce, ID: introID, Name: target, Rec: &reqRec,
 			}))
 			return
 		}
+		sp.Event("refused: target not found")
+		sp.End()
 		s.reply(src, &Msg{Kind: kindError, ID: id, Code: CodeNotFound,
 			Error: "target not found: " + target})
 	})
@@ -839,14 +870,20 @@ func (s *Server) onIntroAck(src netsim.Addr, m *Msg) {
 	}
 	delete(s.pendingIntro, m.ID)
 	if m.Error != "" || m.Rec == nil {
+		pi.span.Event("intro-ack error: %s", m.Error)
+		pi.span.End()
 		s.reply(pi.host, &Msg{Kind: kindError, ID: pi.hostID, Error: m.Error, Code: m.Code})
 		return
 	}
 	if m.RelayChan != 0 {
+		pi.span.Event("intro-ack: relay order")
+		pi.span.End()
 		s.reply(pi.host, &Msg{Kind: kindRelayOrder, ID: pi.hostID, Peer: m.Rec,
 			RelayChan: m.RelayChan, RelayAddr: m.RelayAddr})
 		return
 	}
+	pi.span.Event("intro-ack: punch order")
+	pi.span.End()
 	s.reply(pi.host, &Msg{Kind: kindPunchOrder, ID: pi.hostID, Peer: m.Rec})
 }
 

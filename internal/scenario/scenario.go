@@ -22,6 +22,7 @@ import (
 	"wavnet/internal/ipstack"
 	"wavnet/internal/nat"
 	"wavnet/internal/netsim"
+	"wavnet/internal/obs"
 	"wavnet/internal/rendezvous"
 	"wavnet/internal/sim"
 	"wavnet/internal/vm"
@@ -121,6 +122,12 @@ type World struct {
 	Machines []*Machine
 	byKey    map[string]*Machine
 
+	// Obs is the world's span tracer: every host, broker, VM and the
+	// VPC reconciler record their multi-step control flows (tunnel
+	// punches, re-home elections, applies, migrations) into it, so
+	// chaos tests assert on timelines rather than terminal counters.
+	Obs *obs.Trace
+
 	// HostCfg is the template config for WAVNet hosts the world creates
 	// (joinHosts, ResolveHost); per-machine attributes override Attrs.
 	// Set it before WAVNetUp/Apply — chaos tests use it to shorten pulse
@@ -173,9 +180,11 @@ func Build(seed int64, specs []Spec, overrides map[[2]string]sim.Duration) (*Wor
 	}
 	w.Net = netsim.New(w.Eng)
 	w.Hub = w.Net.NewSite("hub")
+	w.Obs = obs.NewTrace(w.Eng, 0)
 
+	rdvCfg := rendezvous.Config{Name: PrimaryBroker, Tracer: w.Obs}
 	rdvHost := w.Net.NewPublicHost("rdv", w.Hub, netsim.MustParseIP("50.0.0.1"), 1e9, 100*time.Microsecond)
-	rdv, err := rendezvous.NewServer(rdvHost, netsim.MustParseIP("50.0.0.2"), rendezvous.Config{})
+	rdv, err := rendezvous.NewServer(rdvHost, netsim.MustParseIP("50.0.0.2"), rdvCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -184,7 +193,7 @@ func Build(seed int64, specs []Spec, overrides map[[2]string]sim.Duration) (*Wor
 	w.Brokers = []*rendezvous.Server{rdv}
 	w.brokerByName[PrimaryBroker] = rdv
 	w.brokerSites[PrimaryBroker] = &brokerSite{
-		host: rdvHost, site: w.Hub, alt: netsim.MustParseIP("50.0.0.2"), cfg: rendezvous.Config{},
+		host: rdvHost, site: w.Hub, alt: netsim.MustParseIP("50.0.0.2"), cfg: rdvCfg,
 	}
 
 	sites := make([]*netsim.Site, len(specs))
@@ -244,6 +253,12 @@ func (w *World) AddBroker(name string, cfg rendezvous.Config) (*rendezvous.Serve
 	alt := netsim.MakeIP(50, 0, byte(n), 2)
 	host := w.Net.NewPublicHost("rdv-"+name, site,
 		netsim.MakeIP(50, 0, byte(n), 1), 1e9, 100*time.Microsecond)
+	if cfg.Name == "" {
+		cfg.Name = name
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = w.Obs
+	}
 	s, err := rendezvous.NewServer(host, alt, cfg)
 	if err != nil {
 		return nil, err
@@ -615,6 +630,9 @@ func EmulatedWANSpecs(n int, wanBps float64) []Spec {
 func (w *World) hostConfig(m *Machine) core.Config {
 	cfg := w.HostCfg
 	cfg.Attrs = m.Spec.Attrs
+	if cfg.Tracer == nil {
+		cfg.Tracer = w.Obs
+	}
 	return cfg
 }
 
@@ -714,6 +732,9 @@ func (w *World) AddVM(key, name string, ip netsim.IP, cfg vm.Config) (*vm.VM, er
 	if m.WAV == nil || m.WAV.Dom0() == nil {
 		return nil, fmt.Errorf("scenario: machine %q has no WAVNet Dom0 (run WAVNetUp first)", key)
 	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = w.Obs
+	}
 	v := vm.New(m.WAV, name, ip, cfg)
 	w.vms[name] = v
 	return v, nil
@@ -744,6 +765,7 @@ func (w *World) VMHost(name string) (string, bool) {
 func (w *World) VPC() *vpc.Manager {
 	if w.vpcMgr == nil {
 		w.vpcMgr = vpc.NewManager()
+		w.vpcMgr.SetTracer(w.Obs)
 	}
 	return w.vpcMgr
 }
@@ -997,6 +1019,59 @@ func (w *World) PhysicalPair(a, b *Machine) (*ipstack.Stack, *ipstack.Stack, err
 	a.physStacks[b.Key] = sa
 	b.physStacks[a.Key] = sb
 	return sa, sb, nil
+}
+
+// ---- observability: the world-wide scrape ----
+
+// Scrape aggregates every subsystem's counters into one labeled
+// registry — the fabric-wide observability snapshot. Each joined host
+// contributes its VPC data-plane counters and a "tunnels" gauge under
+// {tenant, net, broker, host}; each live broker its control-plane
+// counters under {broker}; world-booted VMs their migration counters
+// under {host} (prefixed "vm."); and the VPC manager its managed VMs
+// and placement-scheduler counters. Series with identical name+labels
+// sum, so scraping is safe at any point of a scenario.
+func (w *World) Scrape() *obs.Registry {
+	r := obs.NewRegistry()
+	for _, m := range w.Machines {
+		if m.WAV == nil {
+			continue
+		}
+		net, _ := m.WAV.Network()
+		l := obs.Labels{Host: m.Key, Net: net, Broker: w.HomeBroker(m.Key)}
+		if net != "" && w.vpcMgr != nil {
+			if n, ok := w.vpcMgr.Get(net); ok {
+				l.Tenant = n.Tenant
+			}
+		}
+		r.AddCounterSet(l, m.WAV.VPCCounters())
+		r.Gauge("tunnels", l).Set(float64(len(m.WAV.Tunnels())))
+	}
+	for _, s := range w.Brokers {
+		name := w.brokerName(s)
+		if name == "" || w.deadBrokers[name] {
+			continue
+		}
+		r.AddCounterSet(obs.Labels{Broker: name}, s.Counters())
+	}
+	for _, v := range w.vms {
+		r.AddCounterSetPrefix("vm.", obs.Labels{Host: v.Host().Name()}, v.Counters())
+	}
+	if w.vpcMgr != nil {
+		w.vpcMgr.ScrapeInto(r)
+	}
+	return r
+}
+
+// ScrapeCheck asserts the scrape is non-empty — every experiment driver
+// calls it at the end so the CI smoke job verifies the observability
+// wiring survived whatever the experiment did to the world.
+func (w *World) ScrapeCheck() error {
+	r := w.Scrape()
+	if r.Len() == 0 {
+		return fmt.Errorf("scenario: world scrape returned an empty registry")
+	}
+	return nil
 }
 
 func (w *World) pick(keys []string) []*Machine {

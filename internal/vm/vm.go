@@ -22,6 +22,7 @@ import (
 	"wavnet/internal/ipstack"
 	"wavnet/internal/metrics"
 	"wavnet/internal/netsim"
+	"wavnet/internal/obs"
 	"wavnet/internal/sim"
 )
 
@@ -58,6 +59,9 @@ type Config struct {
 	// mid-copy. The transfer channel is torn down, the abort is counted,
 	// and the VM keeps running (or resumes) at the source (default 15 s).
 	StallTimeout sim.Duration
+	// Tracer records sim-time spans for migrations (one span per
+	// migration, one child per pre-copy round); nil disables tracing.
+	Tracer *obs.Trace
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +121,11 @@ type VM struct {
 
 	running   bool
 	migrating bool
+
+	// traceParent, when set, becomes the parent of the next migration
+	// span — the VPC reconciler threads its apply span through here so a
+	// managed migration shows up inside the apply that ordered it.
+	traceParent *obs.Span
 
 	// Migrations lists completed migration reports.
 	Migrations []*MigrationReport
@@ -214,6 +223,11 @@ func (v *VM) Counters() *metrics.CounterSet {
 	return c
 }
 
+// SetTraceParent makes sp the parent of the VM's next migration span,
+// linking a managed migration to the VPC apply that ordered it. The
+// parent is consumed by the next Migrate call; nil clears it.
+func (v *VM) SetTraceParent(sp *obs.Span) { v.traceParent = sp }
+
 // totalPages is the VM image size in pages.
 func (v *VM) totalPages() int { return v.cfg.MemoryMB << 20 / v.cfg.PageSize }
 
@@ -235,6 +249,10 @@ func (v *VM) Migrate(p *sim.Proc, dst HostPort) (*MigrationReport, error) {
 	defer func() { v.migrating = false }()
 
 	rep := &MigrationReport{VM: v.name, From: src.Name(), To: dst.Name(), Start: p.Now()}
+	sp := v.cfg.Tracer.Start(v.traceParent, "migrate", obs.Labels{Host: src.Name()})
+	v.traceParent = nil
+	sp.Event("vm %s: %s -> %s", v.name, src.Name(), dst.Name())
+	defer sp.End()
 
 	// Destination side: accept the image stream and count arrivals; each
 	// length-prefixed round is acknowledged by unparking the migrator.
@@ -286,6 +304,7 @@ func (v *VM) Migrate(p *sim.Proc, dst HostPort) (*MigrationReport, error) {
 	conn, err := src.Dom0().Dial(p, netsim.Addr{IP: dst.Dom0().IP(), Port: v.cfg.MigrationPort})
 	if err != nil {
 		v.statAborts++
+		sp.Event("aborted: migration channel: %v", err)
 		return nil, fmt.Errorf("vm: migration channel: %w", err)
 	}
 	defer conn.Close()
@@ -363,10 +382,16 @@ func (v *VM) Migrate(p *sim.Proc, dst HostPort) (*MigrationReport, error) {
 	prev := toSend + 1
 	for round := 0; ; round++ {
 		roundStart := p.Now()
+		rs := v.cfg.Tracer.Start(sp, "migrate.round", obs.Labels{Host: src.Name()})
+		rs.Event("round %d: %d pages", round, toSend)
 		if err := sendRound(toSend); err != nil {
 			v.statAborts++
+			rs.Event("aborted: %v", err)
+			rs.End()
+			sp.Event("aborted in round %d: %v", round, err)
 			return nil, err
 		}
+		rs.End()
 		rep.Rounds++
 		elapsed := p.Now().Sub(roundStart)
 		dirtied := int64(v.cfg.DirtyRate * elapsed.Seconds())
@@ -391,12 +416,18 @@ func (v *VM) Migrate(p *sim.Proc, dst HostPort) (*MigrationReport, error) {
 	if toSend < 1 {
 		toSend = 1
 	}
+	sc := v.cfg.Tracer.Start(sp, "migrate.stopcopy", obs.Labels{Host: src.Name()})
+	sc.Event("%d pages", toSend)
 	if err := sendRound(toSend); err != nil {
 		// Roll back: resume at the source.
 		v.Resume()
 		v.statAborts++
+		sc.Event("aborted, resumed at source: %v", err)
+		sc.End()
+		sp.Event("aborted in stop-and-copy: %v", err)
 		return nil, err
 	}
+	sc.End()
 	rep.Rounds++
 	// End-of-stream marker.
 	zero := make([]byte, 8)
@@ -417,6 +448,8 @@ func (v *VM) Migrate(p *sim.Proc, dst HostPort) (*MigrationReport, error) {
 		v.eng.Schedule(sim.Duration(i)*200*sim.Millisecond, v.stack.AnnounceGratuitousARP)
 	}
 
+	sp.Event("resumed at %s: downtime %v, %d rounds, %d bytes",
+		dst.Name(), rep.Downtime, rep.Rounds, rep.BytesSent)
 	rep.End = p.Now()
 	v.Migrations = append(v.Migrations, rep)
 	v.statMigrations++

@@ -14,6 +14,7 @@ import (
 	"wavnet/internal/core"
 	"wavnet/internal/ether"
 	"wavnet/internal/netsim"
+	"wavnet/internal/obs"
 	"wavnet/internal/sim"
 )
 
@@ -137,7 +138,10 @@ func (mg *Manager) SnapshotTenant(tenant string) TenantSpec {
 // before the failure.
 func (mg *Manager) Reconcile(p *sim.Proc, spec TenantSpec, fab Fabric) (*ApplyReport, error) {
 	rep := &ApplyReport{Tenant: spec.Tenant}
+	rep.span = mg.tracer.Start(nil, "apply", obs.Labels{Tenant: spec.Tenant})
+	defer rep.span.End()
 	if err := spec.validate(); err != nil {
+		rep.span.Event("rejected: %v", err)
 		return rep, err
 	}
 	ts := mg.tenant(spec.Tenant)

@@ -12,6 +12,7 @@ import (
 
 	"wavnet/internal/ether"
 	"wavnet/internal/netsim"
+	"wavnet/internal/obs"
 	"wavnet/internal/sim"
 )
 
@@ -175,6 +176,10 @@ func (a Action) String() string {
 type ApplyReport struct {
 	Tenant  string
 	Actions []Action
+
+	// span is the "apply" span covering this reconcile; record emits
+	// each action as a timestamped event on it (nil-safe).
+	span *obs.Span
 }
 
 // Empty reports whether the apply was a no-op.
@@ -203,7 +208,10 @@ func (r *ApplyReport) String() string {
 	return b.String()
 }
 
-func (a Action) record(rep *ApplyReport) { rep.Actions = append(rep.Actions, a) }
+func (a Action) record(rep *ApplyReport) {
+	rep.span.Event("%s", a)
+	rep.Actions = append(rep.Actions, a)
+}
 
 // validate checks a spec's internal consistency before any state is
 // touched.

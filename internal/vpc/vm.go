@@ -19,6 +19,7 @@ import (
 	"wavnet/internal/ipstack"
 	"wavnet/internal/metrics"
 	"wavnet/internal/netsim"
+	"wavnet/internal/obs"
 	"wavnet/internal/placement"
 	"wavnet/internal/sim"
 	"wavnet/internal/vm"
@@ -230,6 +231,9 @@ func (mg *Manager) reconcileVMs(p *sim.Proc, spec *TenantSpec, ts *tenantState, 
 					want.Name, target, want.Network)
 			}
 			dst := newVMPort(dstM)
+			// Parent the migration span under this apply's span, so the
+			// timeline shows which reconcile ordered the move.
+			rec.vm.SetTraceParent(rep.span)
 			mrep, err := rec.vm.Migrate(p, dst)
 			if err != nil {
 				return fmt.Errorf("vpc: VM %q: migrate %s -> %s: %w", want.Name, rec.host, target, err)
@@ -266,6 +270,7 @@ func (mg *Manager) reconcileVMs(p *sim.Proc, spec *TenantSpec, ts *tenantState, 
 		v := vm.New(newVMPort(m), want.Name, ip, vm.Config{
 			MemoryMB:  want.MemoryMB,
 			DirtyRate: want.DirtyRate,
+			Tracer:    mg.tracer,
 		})
 		ts.vms[want.Name] = &vmRec{spec: want, host: target, vm: v}
 		Action{Op: "vm-place", Network: want.Network, Host: target,
@@ -294,6 +299,35 @@ func (mg *Manager) reconcileVMs(p *sim.Proc, spec *TenantSpec, ts *tenantState, 
 		}
 	}
 	return nil
+}
+
+// ScrapeInto adds the control plane's labeled series to r: every
+// managed VM's migration counters under the VM's {tenant, net, host}
+// labels (prefixed "vm."), and the placement scheduler's decision
+// counters under a "placement." prefix when the scheduler has run.
+func (mg *Manager) ScrapeInto(r *obs.Registry) {
+	tenants := make([]string, 0, len(mg.tenants))
+	for t := range mg.tenants {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		ts := mg.tenants[t]
+		names := make([]string, 0, len(ts.vms))
+		for name := range ts.vms {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			rec := ts.vms[name]
+			r.AddCounterSetPrefix("vm.",
+				obs.Labels{Tenant: t, Net: rec.spec.Network, Host: rec.host},
+				rec.vm.Counters())
+		}
+	}
+	if mg.sched != nil {
+		r.AddCounterSetPrefix("placement.", obs.Labels{}, mg.sched.Counters())
+	}
 }
 
 // placeVM asks the placement scheduler for a host: candidates are the

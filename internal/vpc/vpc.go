@@ -36,6 +36,7 @@ import (
 	"wavnet/internal/ether"
 	"wavnet/internal/ipstack"
 	"wavnet/internal/netsim"
+	"wavnet/internal/obs"
 	"wavnet/internal/placement"
 	"wavnet/internal/sim"
 )
@@ -223,7 +224,15 @@ type Manager struct {
 	// sched is the placement scheduler the VM pass consults for
 	// unpinned VMs (created lazily).
 	sched *placement.Scheduler
+
+	// tracer records one span per Reconcile (with the actions as events)
+	// and parents managed migrations under it; nil disables tracing.
+	tracer *obs.Trace
 }
+
+// SetTracer installs the span tracer reconciles and managed VM
+// migrations record into (nil disables tracing).
+func (mg *Manager) SetTracer(tr *obs.Trace) { mg.tracer = tr }
 
 // NewManager returns an empty control plane.
 func NewManager() *Manager {
