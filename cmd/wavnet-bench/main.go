@@ -34,7 +34,7 @@ func main() {
 	paper := flag.Bool("paper", false, "use paper-scale parameters (slow)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	trajectory := flag.Bool("trajectory", false, "run the pinned macro-benchmark suite and write BENCH_<pr>.json")
-	pr := flag.Int("pr", 6, "trajectory point number stamped into every row")
+	pr := flag.Int("pr", 7, "trajectory point number stamped into every row")
 	out := flag.String("out", "", "trajectory output file (default BENCH_<pr>.json)")
 	baseline := flag.String("baseline", "", "previous trajectory point to compare against (exit 1 on >10% regression)")
 	flag.Parse()

@@ -46,6 +46,10 @@ func (h *Host) onPacket(pkt netsim.Packet) {
 		if t, ok := h.byAddr[pkt.Src]; ok {
 			h.onVNISet(t, pkt.Payload)
 		}
+	case paVIPAnnounce:
+		if _, ok := h.byAddr[pkt.Src]; ok {
+			h.onVIPAnnounce(pkt.Payload)
+		}
 	case rendezvous.RelayMagic:
 		h.onRelayEnvelope(pkt)
 	}
@@ -77,6 +81,8 @@ func (h *Host) onRelayEnvelope(pkt netsim.Packet) {
 		h.onEchoResp(inner)
 	case paVNISet:
 		h.onVNISet(t, inner)
+	case paVIPAnnounce:
+		h.onVIPAnnounce(inner)
 	}
 }
 
@@ -322,6 +328,11 @@ func (h *Host) onEchoResp(payload []byte) {
 // VNI on the wire; receivers without a segment for that VNI drop it,
 // which keeps flooded broadcast and ARP inside the tenant.
 func (h *Host) onTapFrame(seg *segment, f *ether.Frame) {
+	// Proxy-ARP for service VIPs: a request for a VIP this host steers
+	// is answered locally and never floods the WAN (vip.go).
+	if h.handleVIPARP(seg, f) {
+		return
+	}
 	if f.WireLen() > h.SegmentMTU(seg.vni)+ether.HeaderLen {
 		return // oversized for the tunnel
 	}

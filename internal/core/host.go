@@ -32,14 +32,15 @@ import (
 // chosen to collide with neither STUN (0x00/0x01 first byte) nor JSON
 // ('{' = 0x7B) so one socket can carry everything.
 const (
-	paPulse    = 0x10 // CONNECT_PULSE: 2-byte keepalive
-	paFrame    = 0x11 // encapsulated Ethernet frame
-	paPunch    = 0x12 // hole punching probe
-	paPunchAck = 0x13 // hole punching acknowledgement
-	paEcho     = 0x14 // tunnel RTT probe
-	paEchoResp = 0x15 // tunnel RTT response
-	paFrameVNI = 0x17 // VNI-tagged encapsulated Ethernet frame (multi-tenant; 0x16 is rendezvous.RelayMagic)
-	paVNISet   = 0x18 // VNI membership announcement (flood suppression)
+	paPulse       = 0x10 // CONNECT_PULSE: 2-byte keepalive
+	paFrame       = 0x11 // encapsulated Ethernet frame
+	paPunch       = 0x12 // hole punching probe
+	paPunchAck    = 0x13 // hole punching acknowledgement
+	paEcho        = 0x14 // tunnel RTT probe
+	paEchoResp    = 0x15 // tunnel RTT response
+	paFrameVNI    = 0x17 // VNI-tagged encapsulated Ethernet frame (multi-tenant; 0x16 is rendezvous.RelayMagic)
+	paVNISet      = 0x18 // VNI membership announcement (flood suppression)
+	paVIPAnnounce = 0x19 // service VIP backend health transition (vip.go)
 )
 
 // Errors returned by Host operations.
@@ -226,6 +227,14 @@ type Host struct {
 	// their announcedGen to decide whether a refresh is due.
 	vniGen uint64
 
+	// vips is the per-VNI service steering table (vip.go): VIP →
+	// preference-ordered backend list, consulted by the proxy-ARP
+	// responder on the tap path. vipRecords remembers the rendezvous
+	// VIP records this host announced, re-asserted after re-home and
+	// re-registration.
+	vips       map[uint32]map[netsim.IP]*vipTableEntry
+	vipRecords map[string]rendezvous.VIPRecord
+
 	rdv      netsim.Addr
 	joined   bool
 	natClass stun.NATClass
@@ -282,6 +291,13 @@ type Host struct {
 	Rehomes        uint64
 	RehomeFailures uint64
 	Reregisters    uint64
+	// Service-VIP stats (vip.go): ARP requests answered from the
+	// steering table, gratuitous ARPs injected on a choice change, and
+	// 0x19 health announcements flooded/applied.
+	VIPARPProxied   uint64
+	VIPSteers       uint64
+	VIPAnnouncesOut uint64
+	VIPAnnouncesIn  uint64
 	// floodByVNI / suppressByVNI break floods down per virtual network.
 	floodByVNI    map[uint32]uint64
 	suppressByVNI map[uint32]uint64
@@ -308,6 +324,8 @@ func NewHost(phys *netsim.Host, name string, cfg Config) (*Host, error) {
 		tenantQuota:   make(map[string]QuotaConfig),
 		floodByVNI:    make(map[uint32]uint64),
 		suppressByVNI: make(map[uint32]uint64),
+		vips:          make(map[uint32]map[netsim.IP]*vipTableEntry),
+		vipRecords:    make(map[string]rendezvous.VIPRecord),
 	}
 	sock, err := phys.BindUDP(cfg.Port, h.onPacket)
 	if err != nil {
@@ -674,6 +692,9 @@ func (h *Host) rehome(p *sim.Proc) error {
 	}
 	h.Rehomes++
 	sp.Event("rehomed to %v", h.rdv)
+	// The new home broker has never heard of our service VIPs; its
+	// replication then supersedes the stale records naming the dead one.
+	h.reannounceVIPRecords()
 	return nil
 }
 
@@ -692,6 +713,8 @@ func (h *Host) reregister() {
 		if err := h.Join(p, h.rdv); err == nil {
 			h.Reregisters++
 			sp.Event("re-registered with %v", h.rdv)
+			// The restarted broker lost our VIP records with its state.
+			h.reannounceVIPRecords()
 		} else {
 			sp.Event("re-register failed: %v", err)
 		}

@@ -214,6 +214,10 @@ func (h *Host) VPCCounters() *metrics.CounterSet {
 	c.Set("rehomes", h.Rehomes)
 	c.Set("rehome_failures", h.RehomeFailures)
 	c.Set("reregisters", h.Reregisters)
+	c.Set("vip_arp_proxied", h.VIPARPProxied)
+	c.Set("vip_steers", h.VIPSteers)
+	c.Set("vip_announces_out", h.VIPAnnouncesOut)
+	c.Set("vip_announces_in", h.VIPAnnouncesIn)
 	vnis := make([]uint32, 0, len(h.floodByVNI)+len(h.suppressByVNI))
 	seen := make(map[uint32]bool)
 	for vni := range h.floodByVNI {

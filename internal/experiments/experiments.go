@@ -75,6 +75,7 @@ func All() []Runner {
 		{"failover", "Broker failover: time-to-re-home and connect success after a home-broker crash (beyond the paper)", func(o Options) (fmt.Stringer, error) { return Failover(o) }},
 		{"placement", "VM placement: scheduler locality, migration time and connect success per tenant (beyond the paper)", func(o Options) (fmt.Stringer, error) { return Placement(o) }},
 		{"migration", "VM migration micro-sweep: time/downtime/rounds and clean abort under partition (beyond the paper)", func(o Options) (fmt.Stringer, error) { return MigrationSweep(o) }},
+		{"service", "Tenant services: VIP failover time and request success vs probe budget, backends and brokers (beyond the paper)", func(o Options) (fmt.Stringer, error) { return ServiceFailover(o) }},
 	}
 }
 

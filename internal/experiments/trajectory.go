@@ -49,6 +49,8 @@ var BenchDirections = map[string]int{
 	"migration/migration_s":          -1,
 	"migration/downtime_ms":          -1,
 	"migration/migrate_mbps":         +1,
+	"service_failover/failover_ms":   -1,
+	"service_failover/success_ratio": +1,
 }
 
 // CompareBench diffs a trajectory point against a baseline and returns
@@ -125,6 +127,7 @@ func Trajectory(o Options, pr int) (*BenchResult, error) {
 		{"quota", benchQuota},
 		{"rendezvous_ops", benchRendezvousOps},
 		{"migration", benchMigration},
+		{"service_failover", benchServiceFailover},
 	}
 	for _, s := range steps {
 		if err := s.run(o, add); err != nil {
@@ -434,5 +437,22 @@ func benchMigration(o Options, add func(string, string, float64, string)) error 
 	add("migration", "migration_s", mrep.Total().Seconds(), "s")
 	add("migration", "downtime_ms", mrep.Downtime.Seconds()*1e3, "ms")
 	add("migration", "migrate_mbps", metrics.Rate(mrep.BytesSent, mrep.Total()), "Mbps")
+	return nil
+}
+
+// benchServiceFailover isolates the active backend of a three-backend
+// failover-ordered VIP and reports the client-observed failover time
+// and the episode's request success ratio.
+func benchServiceFailover(o Options, add func(string, string, float64, string)) error {
+	row, err := ServiceOnce(o, 3, 3, 2)
+	if err != nil {
+		return err
+	}
+	if row.Stray != 0 {
+		return fmt.Errorf("witness broker holds %d stray VIP records", row.Stray)
+	}
+	add("service_failover", "failover_ms", row.Failover.Seconds()*1e3, "ms")
+	add("service_failover", "success_ratio", row.SuccessRatio(), "ratio")
+	add("service_failover", "budget_ms", row.Budget.Seconds()*1e3, "ms")
 	return nil
 }

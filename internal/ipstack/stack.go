@@ -50,6 +50,12 @@ type Stack struct {
 
 	arp *arpCache
 
+	// aliases are additional addresses this stack accepts traffic for —
+	// service VIPs a backend answers on. Aliases never answer ARP (the
+	// host's VIP table steers resolution) and never become the default
+	// source address; connections accepted on an alias reply from it.
+	aliases map[netsim.IP]bool
+
 	udpPorts  map[uint16]*UDPSock
 	listeners map[uint16]*Listener
 	conns     map[connKey]*Conn
@@ -71,6 +77,7 @@ func New(eng *sim.Engine, name string, nic ether.NIC, mac ether.MAC, ip netsim.I
 		mac:       mac,
 		ip:        ip,
 		cfg:       cfg.withDefaults(),
+		aliases:   make(map[netsim.IP]bool),
 		udpPorts:  make(map[uint16]*UDPSock),
 		listeners: make(map[uint16]*Listener),
 		conns:     make(map[connKey]*Conn),
@@ -97,6 +104,18 @@ func (s *Stack) SetIP(ip netsim.IP) { s.ip = ip }
 // MAC returns the stack's hardware address.
 func (s *Stack) MAC() ether.MAC { return s.mac }
 
+// AddAlias makes the stack accept traffic addressed to ip alongside its
+// primary address — a service VIP the host backs. The stack never ARPs
+// as the alias on its own; steering is the VIP table's job.
+func (s *Stack) AddAlias(ip netsim.IP) { s.aliases[ip] = true }
+
+// RemoveAlias stops accepting traffic for ip. Established connections
+// keyed on the alias break, exactly like a withdrawn VIP should.
+func (s *Stack) RemoveAlias(ip netsim.IP) { delete(s.aliases, ip) }
+
+// HasAlias reports whether ip is a configured alias.
+func (s *Stack) HasAlias(ip netsim.IP) bool { return s.aliases[ip] }
+
 // Engine returns the simulation engine.
 func (s *Stack) Engine() *sim.Engine { return s.eng }
 
@@ -119,6 +138,13 @@ func (s *Stack) NIC() ether.NIC { return s.nic }
 // post-migration announcement.
 func (s *Stack) AnnounceGratuitousARP() {
 	s.sendFrame(ether.GratuitousARP(s.mac, s.ip))
+}
+
+// AnnounceGratuitousARPFor broadcasts a MAC/IP binding for an alias —
+// the VIP announcement a backend floods when it takes over a service
+// address, re-pointing ARP caches and WAV-Switch tables fabric-wide.
+func (s *Stack) AnnounceGratuitousARPFor(ip netsim.IP) {
+	s.sendFrame(ether.GratuitousARP(s.mac, ip))
 }
 
 func (s *Stack) sendFrame(f *ether.Frame) {
@@ -162,7 +188,7 @@ func (s *Stack) onIPv4(f *ether.Frame) {
 		}
 		return
 	}
-	if h.Dst != s.ip {
+	if h.Dst != s.ip && !s.aliases[h.Dst] {
 		s.Drops++
 		return
 	}
@@ -182,10 +208,17 @@ func (s *Stack) onIPv4(f *ether.Frame) {
 // sendIP resolves the destination and emits an IPv4 packet. Packets are
 // queued while ARP resolution is in flight; broadcast skips ARP entirely.
 func (s *Stack) sendIP(dst netsim.IP, proto uint8, payload []byte) {
+	s.sendIPFrom(s.ip, dst, proto, payload)
+}
+
+// sendIPFrom is sendIP with an explicit source address: traffic owed to
+// an alias (a VIP-addressed connection or echo) must reply from the
+// alias, or the far end's demux would never match it.
+func (s *Stack) sendIPFrom(src, dst netsim.IP, proto uint8, payload []byte) {
 	if len(payload)+IPHeaderLen > s.cfg.MTU {
 		panic(fmt.Sprintf("ipstack %s: packet exceeds MTU: %d", s.name, len(payload)+IPHeaderLen))
 	}
-	pkt := marshalIPv4(&ipv4Header{TTL: defaultTTL, Proto: proto, Src: s.ip, Dst: dst}, payload)
+	pkt := marshalIPv4(&ipv4Header{TTL: defaultTTL, Proto: proto, Src: src, Dst: dst}, payload)
 	s.IPOut++
 	if dst == netsim.BroadcastIP {
 		s.sendFrame(&ether.Frame{Dst: ether.Broadcast, Src: s.mac, Type: ether.TypeIPv4, Payload: pkt})
@@ -213,7 +246,9 @@ func (s *Stack) onICMP(h *ipv4Header, payload []byte) {
 	case ICMPEchoRequest:
 		reply := *m
 		reply.Type = ICMPEchoReply
-		s.sendIP(h.Src, ProtoICMP, marshalICMP(&reply))
+		// Reply from the address the request was sent to — the primary or
+		// an alias — so pinging a VIP looks like pinging a real host.
+		s.sendIPFrom(h.Dst, h.Src, ProtoICMP, marshalICMP(&reply))
 	case ICMPEchoReply:
 		key := uint32(m.ID)<<16 | uint32(m.Seq)
 		if w, ok := s.pingWait[key]; ok {

@@ -269,7 +269,10 @@ func (c *Conn) sendSeg(seg *tcpSegment) {
 	seg.DstPort = c.remote.Port
 	c.SegsOut++
 	c.lastAdvWnd = seg.Wnd
-	c.stack.sendIP(c.remote.IP, ProtoTCP, marshalTCP(seg))
+	// Source from the connection's own local address: connections
+	// accepted on an alias (a service VIP) must answer as the VIP, or
+	// the client's demux key would never match.
+	c.stack.sendIPFrom(c.local.IP, c.remote.IP, ProtoTCP, marshalTCP(seg))
 }
 
 func (c *Conn) sendACK() {
@@ -480,6 +483,9 @@ func (s *Stack) onTCP(h *ipv4Header, payload []byte) {
 	// New connection to a listener?
 	if l, ok := s.listeners[seg.DstPort]; ok && seg.has(flagSYN) && !seg.has(flagACK) && !l.closed {
 		c := s.newConn(key, stateSynRcvd)
+		// The SYN's destination is the connection's local address for its
+		// whole life — an alias (VIP) stays the source of every reply.
+		c.local.IP = h.Dst
 		c.lis = l
 		c.iss = s.eng.Rand().Uint32()
 		c.sndUna, c.sndNxt = c.iss, c.iss+1
@@ -500,7 +506,7 @@ func (s *Stack) onTCP(h *ipv4Header, payload []byte) {
 		if seg.has(flagSYN) {
 			rst.Ack++
 		}
-		s.sendIP(h.Src, ProtoTCP, marshalTCP(rst))
+		s.sendIPFrom(h.Dst, h.Src, ProtoTCP, marshalTCP(rst))
 	}
 }
 

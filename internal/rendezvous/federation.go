@@ -408,6 +408,16 @@ func (s *Server) Counters() *metrics.CounterSet {
 	c.Set("replica_adopted", s.ReplicaAdoptions)
 	c.Set("session_superseded", s.SessionsSuperseded)
 	c.Set("stale_fwd_rejects", s.StaleFwdRejects)
+	c.Set("vip_announces_in", s.VIPAnnouncesIn)
+	c.Set("vip_withdrawals_in", s.VIPWithdrawalsIn)
+	c.Set("vip_replications_out", s.VIPReplicationsOut)
+	c.Set("vip_replications_in", s.VIPReplicationsIn)
+	c.Set("vip_retracts_out", s.VIPRetractsOut)
+	c.Set("vip_retracts_in", s.VIPRetractsIn)
+	c.Set("vip_lookups", s.VIPLookups)
+	c.Set("vip_expiries", s.VIPExpiries)
+	c.Set("vip_dead_broker", s.DeadBrokerVIPDrops)
+	c.Set("vip_rejected", s.RejectedVIP)
 	return c
 }
 

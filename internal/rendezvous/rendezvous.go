@@ -115,6 +115,13 @@ type Msg struct {
 	// Relay fallback (unpunchable NAT pairs).
 	RelayChan uint64      `json:"relayChan,omitempty"`
 	RelayAddr netsim.Addr `json:"relayAddr,omitempty"`
+
+	// Tenant service VIPs (vip.go): one record on announce/withdraw/
+	// replicate, the sorted backend list on a vip-lookup reply, and the
+	// service name a lookup asks for.
+	VIP     *VIPRecord  `json:"vip,omitempty"`
+	VIPs    []VIPRecord `json:"vips,omitempty"`
+	Service string      `json:"service,omitempty"`
 }
 
 // Encode serializes a message.
@@ -248,6 +255,9 @@ type Server struct {
 	netBrokers map[string][]netsim.Addr
 	replicas   map[string]*replica
 	dirty      map[string]bool
+	// vipRecs holds the tenant-service VIP records (vip.go), locally
+	// announced and federated replicas alike, keyed net/service/backend.
+	vipRecs map[string]*vipEntry
 	// peerSeen is the liveness clock per federated peer: bumped by any
 	// message from it (broker pulses cover idle links). A peer silent
 	// past BrokerTTL is dead — see expireDeadBrokers.
@@ -289,6 +299,15 @@ type Server struct {
 	// the source is not a federated peer or the record's network is not
 	// served here (the scope check).
 	RejectedFederation uint64
+	// Tenant-service VIP stats (vip.go): announcement/withdrawal traffic
+	// from hosts, replication within the network's broker set, lookups
+	// answered, records expired or dropped with their dead home broker,
+	// and announcements refused by the session/scope check.
+	VIPAnnouncesIn, VIPWithdrawalsIn      uint64
+	VIPReplicationsOut, VIPReplicationsIn uint64
+	VIPRetractsOut, VIPRetractsIn         uint64
+	VIPLookups, VIPExpiries               uint64
+	DeadBrokerVIPDrops, RejectedVIP       uint64
 }
 
 // NewServer starts a rendezvous server on a public host. stunAltIP must
@@ -307,6 +326,7 @@ func NewServer(host *netsim.Host, stunAltIP netsim.IP, cfg Config) (*Server, err
 		netBrokers:   make(map[string][]netsim.Addr),
 		replicas:     make(map[string]*replica),
 		dirty:        make(map[string]bool),
+		vipRecs:      make(map[string]*vipEntry),
 		peerSeen:     make(map[netsim.Addr]sim.Time),
 		locator:      NewLocator(),
 	}
@@ -337,6 +357,7 @@ func NewServer(host *netsim.Host, stunAltIP netsim.IP, cfg Config) (*Server, err
 			s.publish(ses.rec)
 			s.replicate(ses.rec)
 		}
+		s.refreshVIPs()
 	})
 	if cfg.ReplicateInterval > 0 {
 		s.replTick = sim.NewTicker(s.eng, cfg.ReplicateInterval, func() { s.flushReplication() })
@@ -428,6 +449,7 @@ func (s *Server) expire() {
 	}
 	s.expireReplicas(cutoff)
 	s.expireDeadBrokers()
+	s.expireVIPs(cutoff)
 	for id, pi := range s.pendingIntro {
 		if pi.created < cutoff {
 			pi.span.Event("expired: intro never acked")
@@ -482,6 +504,16 @@ func (s *Server) onPacket(pkt netsim.Packet) {
 		s.onPeerPropagation(pkt.Src, m)
 	case kindBrokerPulse:
 		s.onBrokerPulse(pkt.Src)
+	case kindVIPAnnounce:
+		s.onVIPAnnounce(pkt.Src, m)
+	case kindVIPWithdraw:
+		s.onVIPWithdraw(pkt.Src, m)
+	case kindVIPLookup:
+		s.onVIPLookup(pkt.Src, m)
+	case kindVIPReplicate:
+		s.onVIPReplicate(pkt.Src, m)
+	case kindVIPRetract:
+		s.onVIPRetract(pkt.Src, m)
 	case kindError:
 		// A broker-to-broker failure (introduce or fwd-connect refused at
 		// the remote end): resolve the pending introduction so the

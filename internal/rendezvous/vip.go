@@ -1,0 +1,260 @@
+package rendezvous
+
+import (
+	"sort"
+
+	"wavnet/internal/netsim"
+	"wavnet/internal/sim"
+)
+
+// Tenant service VIPs at the rendezvous layer: the service controller
+// announces a VIP record per healthy backend through the backend's (or
+// the service anchor's) home broker, and the record is replicated
+// strictly within the network's declared broker set — the same trust
+// boundary as host-record replication. Cross-broker lookups of a VIP
+// then resolve fabric-wide: any broker of the set can answer "who backs
+// service S" sorted by the requester's policy (declared order for
+// failover-ordered, locator distance for anycast-nearest). Withdrawal
+// is immediate and never batched, exactly like host-record withdrawal:
+// a stale VIP record steers new connections into a dead backend.
+
+// Steering policies a VIPRecord may carry.
+const (
+	PolicyAnycastNearest  = "anycast-nearest"
+	PolicyFailoverOrdered = "failover-ordered"
+)
+
+// VIPRecord advertises one healthy backend of a tenant service.
+type VIPRecord struct {
+	Service string      `json:"service"`
+	Net     string      `json:"net"`
+	VIP     netsim.IP   `json:"vip"`
+	Backend string      `json:"backend"`       // backend name within the service
+	Host    string      `json:"host"`          // WAVNet host carrying the backend
+	Order   int         `json:"order"`         // failover-ordered rank
+	Policy  string      `json:"policy"`        // steering policy of the service
+	Server  netsim.Addr `json:"srv,omitempty"` // home broker of the record
+}
+
+// key identifies a record: one entry per (network, service, backend).
+func (r VIPRecord) key() string { return r.Net + "/" + r.Service + "/" + r.Backend }
+
+// VIP wire message kinds (host <-> broker, broker <-> broker).
+const (
+	kindVIPAnnounce  = "vip-announce"  // host -> its broker: healthy backend
+	kindVIPWithdraw  = "vip-withdraw"  // host -> its broker: backend died/evicted
+	kindVIPLookup    = "vip-lookup"    // host -> broker: who backs this service?
+	kindVIPReply     = "vip-reply"     //
+	kindVIPReplicate = "vip-replicate" // home broker -> federated broker: scoped copy
+	kindVIPRetract   = "vip-retract"   // home broker -> federated broker: record withdrawn
+)
+
+// vipEntry is one stored VIP record, locally announced or replicated.
+type vipEntry struct {
+	rec      VIPRecord
+	lastSeen sim.Time
+}
+
+// onVIPAnnounce stores (or refreshes) a VIP record announced by a host
+// homed here and replicates it within the network's broker set. The
+// sender must hold a live session scoped to the record's network — a
+// VIP record is tenant state and rides the same trust the host's own
+// registration earned.
+func (s *Server) onVIPAnnounce(src netsim.Addr, m *Msg) {
+	if m.VIP == nil || m.VIP.Service == "" || m.VIP.Backend == "" {
+		return
+	}
+	ses, ok := s.sessions[m.Name]
+	if !ok || ses.rec.Net != m.VIP.Net || ses.rec.Mapped != src {
+		s.RejectedVIP++
+		return
+	}
+	s.VIPAnnouncesIn++
+	rec := *m.VIP
+	rec.Server = s.Addr()
+	s.vipRecs[rec.key()] = &vipEntry{rec: rec, lastSeen: s.eng.Now()}
+	for _, peer := range s.netBrokers[rec.Net] {
+		s.VIPReplicationsOut++
+		s.sock.SendTo(peer, Encode(&Msg{Kind: kindVIPReplicate, VIP: &rec}))
+	}
+}
+
+// onVIPWithdraw drops a record at its announcer's request and retracts
+// it from the network's broker set. Withdrawal is validated like the
+// announcement, but a session that just expired may still withdraw — a
+// dying backend must be able to clean up after itself.
+func (s *Server) onVIPWithdraw(src netsim.Addr, m *Msg) {
+	if m.VIP == nil {
+		return
+	}
+	e, ok := s.vipRecs[m.VIP.key()]
+	if !ok {
+		return
+	}
+	if ses, live := s.sessions[m.Name]; live && ses.rec.Mapped != src {
+		s.RejectedVIP++
+		return
+	}
+	s.VIPWithdrawalsIn++
+	delete(s.vipRecs, m.VIP.key())
+	for _, peer := range s.netBrokers[e.rec.Net] {
+		s.VIPRetractsOut++
+		s.sock.SendTo(peer, Encode(&Msg{Kind: kindVIPRetract, VIP: &e.rec}))
+	}
+}
+
+// onVIPReplicate stores a record received from a federated peer, under
+// the same scope check as host-record replication: only for networks
+// configured here, only from brokers of that network's own set.
+func (s *Server) onVIPReplicate(src netsim.Addr, m *Msg) {
+	if m.VIP == nil || !s.federated[src] ||
+		!s.ServesNet(m.VIP.Net) || !s.brokerOfNet(m.VIP.Net, src) {
+		s.RejectedFederation++
+		return
+	}
+	s.VIPReplicationsIn++
+	s.vipRecs[m.VIP.key()] = &vipEntry{rec: *m.VIP, lastSeen: s.eng.Now()}
+}
+
+// onVIPRetract drops a replicated record at its home broker's request.
+func (s *Server) onVIPRetract(src netsim.Addr, m *Msg) {
+	if m.VIP == nil {
+		return
+	}
+	e, ok := s.vipRecs[m.VIP.key()]
+	if !ok {
+		return
+	}
+	if !s.federated[src] || !s.brokerOfNet(e.rec.Net, src) {
+		s.RejectedFederation++
+		return
+	}
+	s.VIPRetractsIn++
+	delete(s.vipRecs, m.VIP.key())
+}
+
+// onVIPLookup answers "who backs service S in network N" from the local
+// VIP record store, sorted for the requester: failover-ordered services
+// by their declared rank, anycast services by the locator's distance
+// between the requester and each backend's host (unknown distances
+// last). The requester gets healthy backends only — withdrawal already
+// removed the dead ones.
+func (s *Server) onVIPLookup(src netsim.Addr, m *Msg) {
+	s.VIPLookups++
+	recs := s.VIPRecords(m.Net, m.Service)
+	if len(recs) == 0 {
+		s.reply(src, &Msg{Kind: kindError, ID: m.ID,
+			Error: "no such service: " + m.Service, Code: CodeNotFound})
+		return
+	}
+	anycast := recs[0].Policy != PolicyFailoverOrdered
+	sort.SliceStable(recs, func(i, j int) bool {
+		if anycast {
+			di, iok := s.locator.RTT(m.Name, recs[i].Host)
+			dj, jok := s.locator.RTT(m.Name, recs[j].Host)
+			if iok != jok {
+				return iok
+			}
+			if iok && jok && di != dj {
+				return di < dj
+			}
+			return recs[i].Backend < recs[j].Backend
+		}
+		if recs[i].Order != recs[j].Order {
+			return recs[i].Order < recs[j].Order
+		}
+		return recs[i].Backend < recs[j].Backend
+	})
+	s.reply(src, &Msg{Kind: kindVIPReply, ID: m.ID, VIPs: recs})
+}
+
+// refreshVIPs re-replicates locally announced VIP records at the
+// refresh tick (records travel with sessions: half the TTL), so a
+// replica outlives its initial copy as long as the home broker lives.
+func (s *Server) refreshVIPs() {
+	for _, e := range s.vipRecs {
+		if e.rec.Server != s.Addr() {
+			continue
+		}
+		e.lastSeen = s.eng.Now()
+		for _, peer := range s.netBrokers[e.rec.Net] {
+			s.VIPReplicationsOut++
+			s.sock.SendTo(peer, Encode(&Msg{Kind: kindVIPReplicate, VIP: &e.rec}))
+		}
+	}
+}
+
+// expireVIPs drops VIP records that lost their ground: replicas no
+// longer refreshed (dead home broker), replicas homed on a federated
+// peer that went silent past the liveness TTL, and local records whose
+// backing host vanished from the network entirely (neither session nor
+// replica — the backend's host died without withdrawing).
+func (s *Server) expireVIPs(cutoff sim.Time) {
+	deadCutoff := s.eng.Now().Add(-s.cfg.BrokerTTL)
+	for key, e := range s.vipRecs {
+		if e.rec.Server != s.Addr() {
+			if e.lastSeen < cutoff {
+				delete(s.vipRecs, key)
+				s.VIPExpiries++
+				continue
+			}
+			if s.federated[e.rec.Server] && s.peerSeen[e.rec.Server] < deadCutoff {
+				delete(s.vipRecs, key)
+				s.DeadBrokerVIPDrops++
+			}
+			continue
+		}
+		if !s.hostKnown(e.rec.Host, e.rec.Net) {
+			delete(s.vipRecs, key)
+			s.VIPExpiries++
+		}
+	}
+}
+
+// hostKnown reports whether the named host is visible in the network
+// here, as a homed session or a federated replica.
+func (s *Server) hostKnown(name, net string) bool {
+	if ses, ok := s.sessions[name]; ok && ses.rec.Net == net {
+		return true
+	}
+	if rep, ok := s.replicas[name]; ok && rep.rec.Net == net {
+		return true
+	}
+	return false
+}
+
+// VIPRecords returns the stored records of one service (all services of
+// the network when service is empty), sorted by key for determinism.
+func (s *Server) VIPRecords(net, service string) []VIPRecord {
+	keys := make([]string, 0, len(s.vipRecs))
+	for key, e := range s.vipRecs {
+		if e.rec.Net == net && (service == "" || e.rec.Service == service) {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]VIPRecord, 0, len(keys))
+	for _, key := range keys {
+		out = append(out, s.vipRecs[key].rec)
+	}
+	return out
+}
+
+// VIPRecordsFor counts every VIP record held for one network. The
+// federation's scope invariant extends to services: VIPRecordsFor(n)
+// == 0 on any broker n's tenant spec does not name.
+func (s *Server) VIPRecordsFor(net string) int {
+	s.expire()
+	return len(s.VIPRecords(net, ""))
+}
+
+// RTT reports the locator's stored distance between two named hosts
+// (false when either is unknown or no measurement was ever reported).
+func (l *Locator) RTT(a, b string) (sim.Duration, bool) {
+	i, iok := l.names[a]
+	j, jok := l.names[b]
+	if !iok || !jok || l.rtts[i][j] == 0 {
+		return 0, false
+	}
+	return l.rtts[i][j], true
+}

@@ -24,6 +24,7 @@ import (
 	"wavnet/internal/netsim"
 	"wavnet/internal/obs"
 	"wavnet/internal/rendezvous"
+	"wavnet/internal/service"
 	"wavnet/internal/sim"
 	"wavnet/internal/vm"
 	"wavnet/internal/vpc"
@@ -761,6 +762,16 @@ func (w *World) VMHost(name string) (string, bool) {
 	return "", false
 }
 
+// ResolveService finds a tenant service by name (placed by Apply).
+func (w *World) ResolveService(name string) (*service.Service, bool) {
+	return w.VPC().Service(name)
+}
+
+// ServiceVIP reports the resolved VIP of a tenant service.
+func (w *World) ServiceVIP(name string) (netsim.IP, bool) {
+	return w.VPC().ServiceVIP(name)
+}
+
 // VPC returns the world's multi-tenant control plane (created lazily).
 func (w *World) VPC() *vpc.Manager {
 	if w.vpcMgr == nil {
@@ -859,6 +870,7 @@ func (w *World) ApplySync(spec vpc.TenantSpec) (*vpc.ApplyReport, error) {
 	// each VM generously (a pre-copy of hundreds of MB over a shaped WAN
 	// runs for minutes of simulated time).
 	budget += time.Duration(len(spec.VMs)) * 5 * time.Minute
+	budget += time.Duration(len(spec.Services)) * 30 * time.Second
 	// Drive the engine in slices so the world's clock stops close to
 	// when convergence actually finishes (setup time is a measurement).
 	for spent := time.Duration(0); !done && spent < budget; spent += time.Second {

@@ -126,9 +126,10 @@ func summarizeIPv4(b []byte) string {
 // tunnel encapsulations a capture inside a tenant actually sees; the
 // full catalogue lives in internal/core).
 const (
-	paFrame    = 0x11 // untagged encapsulated Ethernet frame
-	paFrameVNI = 0x17 // VNI-tagged frame: [0x17][vni:4][frame]
-	paVNISet   = 0x18 // VNI membership announcement: [0x18][n:2][vni:4]*n
+	paFrame       = 0x11 // untagged encapsulated Ethernet frame
+	paFrameVNI    = 0x17 // VNI-tagged frame: [0x17][vni:4][frame]
+	paVNISet      = 0x18 // VNI membership announcement: [0x18][n:2][vni:4]*n
+	paVIPAnnounce = 0x19 // VIP health: [0x19][flags:1][vni:4][vip:4][mac:6][nameLen:1][name]
 )
 
 // summarizeWAVNet decodes the tunnel encapsulations of the WAVNet data
@@ -163,6 +164,21 @@ func summarizeWAVNet(b []byte) (string, bool) {
 			vnis[i] = fmt.Sprintf("%d", binary.BigEndian.Uint32(b[3+4*i:]))
 		}
 		return fmt.Sprintf("WAVNet VNI-set announce [%s]", strings.Join(vnis, " ")), true
+	case paVIPAnnounce:
+		if len(b) < 17 || len(b) < 17+int(b[16]) {
+			return fmt.Sprintf("WAVNet VIP-announce malformed (%d bytes)", len(b)), true
+		}
+		health := "down"
+		if b[1]&0x01 != 0 {
+			health = "up"
+		}
+		vni := binary.BigEndian.Uint32(b[2:])
+		vip := netsim.IP(binary.BigEndian.Uint32(b[6:]))
+		var mac ether.MAC
+		copy(mac[:], b[10:16])
+		backend := string(b[17 : 17+int(b[16])])
+		return fmt.Sprintf("WAVNet VNI %d VIP-announce %s backend %s (%s) %s",
+			vni, vip, backend, mac, health), true
 	default:
 		return "", false
 	}

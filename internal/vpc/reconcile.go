@@ -66,7 +66,9 @@ type tenantState struct {
 	// other traffic.
 	peerLinks map[[2]string]map[[2]string]bool
 	// vms are the tenant's placed virtual machines, keyed by VM name.
-	vms      map[string]*vmRec
+	vms map[string]*vmRec
+	// services are the tenant's live L3 services, keyed by service name.
+	services map[string]*svcRec
 	quota    QuotaSpec
 	quotaSet bool
 }
@@ -78,6 +80,7 @@ func (mg *Manager) tenant(name string) *tenantState {
 			peerings:  make(map[[2]string]PeeringSpec),
 			peerLinks: make(map[[2]string]map[[2]string]bool),
 			vms:       make(map[string]*vmRec),
+			services:  make(map[string]*svcRec),
 		}
 		mg.tenants[name] = ts
 	}
@@ -101,6 +104,7 @@ func (mg *Manager) SnapshotTenant(tenant string) TenantSpec {
 			StaticAddressing: n.cfg.StaticAddressing,
 			Lease:            n.cfg.Lease,
 			Brokers:          append([]string(nil), n.Brokers...),
+			ServicePool:      n.cfg.ServicePool,
 		}
 		for _, m := range n.Members() {
 			ns.Members = append(ns.Members, m.Host.Name())
@@ -128,6 +132,14 @@ func (mg *Manager) SnapshotTenant(tenant string) TenantSpec {
 		sort.Strings(vmNames)
 		for _, name := range vmNames {
 			spec.VMs = append(spec.VMs, ts.vms[name].spec)
+		}
+		svcNames := make([]string, 0, len(ts.services))
+		for name := range ts.services {
+			svcNames = append(svcNames, name)
+		}
+		sort.Strings(svcNames)
+		for _, name := range svcNames {
+			spec.Services = append(spec.Services, ts.services[name].spec)
 		}
 	}
 	return spec
@@ -185,11 +197,15 @@ func (mg *Manager) Reconcile(p *sim.Proc, spec TenantSpec, fab Fabric) (*ApplyRe
 		}
 	}
 
-	// 0. VM pre-pass, before any network or membership changes: every
-	// VM the desired spec no longer supports where it runs is detached
-	// now, while its segment still exists. VMs the spec still wants are
+	// 0. Service pre-pass, before anything moves: dropped services are
+	// evicted and changed ones stopped while their networks, members
+	// and backend VMs still exist (VIP reservation and observed health
+	// carry over to the rebuild). Then the VM pre-pass: every VM the
+	// desired spec no longer supports where it runs is detached now,
+	// while its segment still exists. VMs the spec still wants are
 	// re-placed (or migrated) by the placement pass after memberships
 	// converge.
+	mg.reconcileServicesPre(&spec, ts, rep)
 	mg.reconcileVMsPre(&spec, ts, rep)
 
 	// 1. Remove stale peerings first, while both sides' networks and
@@ -392,6 +408,13 @@ func (mg *Manager) Reconcile(p *sim.Proc, spec TenantSpec, fab Fabric) (*ApplyRe
 		return rep, err
 	}
 
+	// 8. Services, last of all: backends resolve to their final host,
+	// address and stack only after the VM pass placed and migrated
+	// everything. Unchanged live services are untouched.
+	if err := mg.reconcileServices(&spec, ts, fab, rep); err != nil {
+		return rep, err
+	}
+
 	return rep, nil
 }
 
@@ -401,7 +424,8 @@ func (mg *Manager) Reconcile(p *sim.Proc, spec TenantSpec, fab Fabric) (*ApplyRe
 // non-empty network that disagrees is an error: converging it would
 // disrupt members the spec wants kept.
 func (mg *Manager) reconcileNetwork(tenant string, ns *NetworkSpec, ts *tenantState, fab Fabric, rep *ApplyReport) error {
-	cfg := NetworkConfig{VNI: ns.VNI, StaticAddressing: ns.StaticAddressing, Lease: ns.Lease}
+	cfg := NetworkConfig{VNI: ns.VNI, StaticAddressing: ns.StaticAddressing,
+		Lease: ns.Lease, ServicePool: ns.ServicePool}
 	live, ok := mg.networks[ns.Name]
 	if !ok {
 		n, err := mg.Create(ns.Name, ns.CIDR, cfg)
@@ -425,7 +449,8 @@ func (mg *Manager) reconcileNetwork(tenant string, ns *NetworkSpec, ts *tenantSt
 	matches := live.CIDR == prefix &&
 		(ns.VNI == 0 || ns.VNI == live.VNI) &&
 		live.cfg.StaticAddressing == ns.StaticAddressing &&
-		live.cfg.Lease == effLease
+		live.cfg.Lease == effLease &&
+		live.cfg.ServicePool == ns.ServicePool
 	if matches {
 		return nil
 	}

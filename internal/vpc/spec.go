@@ -32,6 +32,10 @@ type TenantSpec struct {
 	// evicted; a VM whose desired host differs from where it runs is
 	// converged by live migration.
 	VMs []VMSpec
+	// Services are the tenant's L3 services: a VIP backed by member
+	// hosts and/or managed VMs, health-checked and steered per policy.
+	// Services missing from the spec are evicted (VIP released).
+	Services []ServiceSpec
 	// Quota caps the tenant's send rate per (member host, tunnel);
 	// RateBps 0 means unmetered.
 	Quota QuotaSpec
@@ -60,6 +64,12 @@ type NetworkSpec struct {
 	// about the network. Members must home on one of the named brokers.
 	// Empty keeps the network on the fabric's primary broker alone.
 	Brokers []string
+	// ServicePool is a sub-CIDR of CIDR carved out for service VIPs
+	// (e.g. "10.0.0.240/28"). Its addresses are reserved against the
+	// network's DHCP server and skipped by static assignment; services
+	// without a pinned VIP draw from it, and a pinned VIP must fall
+	// inside it. Empty means services must pin their VIPs explicitly.
+	ServicePool string
 }
 
 // PeeringSpec is a policy-carrying route between two of the tenant's
@@ -103,6 +113,96 @@ type VMSpec struct {
 	Host string
 }
 
+// ServiceSpec declares one L3 service of the tenant: a VIP on one of
+// the tenant's networks, a backend set, a steering policy and the
+// health-probe budget. The reconciler converges it through the service
+// controller (internal/service): backends alias the VIP, member hosts
+// steer clients to the first healthy backend of their per-host
+// preference list, and the probe loop withdraws dead backends within
+// the fall budget.
+type ServiceSpec struct {
+	// Name is the service's unique name within the tenant.
+	Name string
+	// Network names the tenant network the VIP lives on.
+	Network string
+	// VIP pins the service address inside the network's CIDR (and
+	// inside its ServicePool, when one is declared). Empty draws the
+	// first free address from the pool; the allocation is sticky across
+	// re-applies.
+	VIP string
+	// Policy is the steering policy: "anycast-nearest" (default — each
+	// client host prefers the closest healthy backend by measured RTT)
+	// or "failover-ordered" (every host prefers the first healthy
+	// backend in declared order).
+	Policy string
+	// Backends are the service's backends in declared preference order
+	// (the rank failover-ordered steering follows). Each names exactly
+	// one member host or one managed VM of the service's network.
+	Backends []BackendSpec
+	// Interval is the probe period (default 1s); Timeout bounds one
+	// probe (default 250ms).
+	Interval sim.Duration
+	Timeout  sim.Duration
+	// Fall consecutive probe failures withdraw a backend (default 3);
+	// Rise consecutive successes re-announce it (default 2).
+	Fall int
+	Rise int
+}
+
+// BackendSpec names one backend of a service: exactly one of Member (a
+// machine key listed in the network's Members) or VM (a VMSpec name on
+// the same network).
+type BackendSpec struct {
+	Member string
+	VM     string
+}
+
+// name is the backend's name within the service.
+func (b BackendSpec) name() string {
+	if b.Member != "" {
+		return b.Member
+	}
+	return b.VM
+}
+
+// normalized fills a ServiceSpec's defaulted fields so live state can
+// be compared against the spec field by field.
+func (s ServiceSpec) normalized() ServiceSpec {
+	if s.Policy == "" {
+		s.Policy = "anycast-nearest"
+	}
+	if s.Interval <= 0 {
+		s.Interval = 1 * sim.Second
+	}
+	if s.Timeout <= 0 {
+		s.Timeout = 250 * sim.Millisecond
+	}
+	if s.Fall <= 0 {
+		s.Fall = 3
+	}
+	if s.Rise <= 0 {
+		s.Rise = 2
+	}
+	return s
+}
+
+// serviceSpecEqual compares two normalized service specs field by
+// field (backend order matters: it is the failover rank).
+func serviceSpecEqual(x, y ServiceSpec) bool {
+	x, y = x.normalized(), y.normalized()
+	if x.Name != y.Name || x.Network != y.Network || x.VIP != y.VIP ||
+		x.Policy != y.Policy || x.Interval != y.Interval || x.Timeout != y.Timeout ||
+		x.Fall != y.Fall || x.Rise != y.Rise || len(x.Backends) != len(y.Backends) {
+		return false
+	}
+	for i := range x.Backends {
+		if x.Backends[i] != y.Backends[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // QuotaSpec is a per-tenant rate limit, enforced by a token bucket per
 // (member host, tunnel) in the data plane, plus the tenant's VM
 // capacity envelope enforced by the placement pass.
@@ -143,7 +243,8 @@ type Action struct {
 	// Op identifies the change: create-network, adopt-network,
 	// recreate-network, delete-network, admit, evict, peer, repeer,
 	// unpeer, peer-connect, peer-disconnect, set-quota, clear-quota,
-	// federate, defederate, vm-place, vm-migrate, vm-evict.
+	// federate, defederate, vm-place, vm-migrate, vm-evict,
+	// service-create, service-update, service-evict.
 	Op string
 	// Network is the affected network (or "a<->b" pair for peerings).
 	Network string
@@ -258,6 +359,18 @@ func (spec *TenantSpec) validate() error {
 			}
 			seenBrokers[b] = true
 		}
+		if ns.ServicePool != "" {
+			pool, err := ParseCIDR(ns.ServicePool)
+			if err != nil {
+				return fmt.Errorf("vpc: tenant %s: network %q service pool: %w", spec.Tenant, ns.Name, err)
+			}
+			cidr, _ := ParseCIDR(ns.CIDR) // validated above
+			if !cidr.Contains(pool.Base) || !cidr.Contains(pool.Broadcast()) ||
+				pool.Base <= cidr.Base+1 || pool.Broadcast() >= cidr.Broadcast() {
+				return fmt.Errorf("vpc: tenant %s: network %q service pool %s must sit strictly inside %s (past the gateway, before broadcast)",
+					spec.Tenant, ns.Name, ns.ServicePool, ns.CIDR)
+			}
+		}
 	}
 	pairs := make(map[[2]string]bool, len(spec.Peerings))
 	for _, pe := range spec.Peerings {
@@ -321,6 +434,12 @@ func (spec *TenantSpec) validate() error {
 			return fmt.Errorf("vpc: tenant %s: VM %q: IP %s is the network's gateway",
 				spec.Tenant, vs.Name, vs.IP)
 		}
+		if ns.ServicePool != "" {
+			if pool, err := ParseCIDR(ns.ServicePool); err == nil && pool.Contains(ip) {
+				return fmt.Errorf("vpc: tenant %s: VM %q: IP %s falls inside network %q's service pool %s",
+					spec.Tenant, vs.Name, vs.IP, ns.Name, ns.ServicePool)
+			}
+		}
 		if vmIPs[ns.Name] == nil {
 			vmIPs[ns.Name] = make(map[netsim.IP]bool)
 		}
@@ -342,6 +461,119 @@ func (spec *TenantSpec) validate() error {
 			}
 		}
 		totalMem += vs.normalized().MemoryMB
+	}
+	svcNames := make(map[string]bool, len(spec.Services))
+	svcVIPs := make(map[string]map[netsim.IP]bool)
+	for i := range spec.Services {
+		ss := &spec.Services[i]
+		if ss.Name == "" {
+			return fmt.Errorf("vpc: tenant %s: service %d needs a name", spec.Tenant, i)
+		}
+		if svcNames[ss.Name] {
+			return fmt.Errorf("vpc: tenant %s: duplicate service %q", spec.Tenant, ss.Name)
+		}
+		svcNames[ss.Name] = true
+		ns, ok := names[ss.Network]
+		if !ok {
+			return fmt.Errorf("vpc: tenant %s: service %q names unknown network %q", spec.Tenant, ss.Name, ss.Network)
+		}
+		if len(ns.Members) == 0 {
+			return fmt.Errorf("vpc: tenant %s: service %q: network %q has no members to probe from",
+				spec.Tenant, ss.Name, ss.Network)
+		}
+		switch ss.Policy {
+		case "", "anycast-nearest", "failover-ordered":
+		default:
+			return fmt.Errorf("vpc: tenant %s: service %q: unknown policy %q", spec.Tenant, ss.Name, ss.Policy)
+		}
+		if ss.Interval < 0 || ss.Timeout < 0 || ss.Fall < 0 || ss.Rise < 0 {
+			return fmt.Errorf("vpc: tenant %s: service %q: negative probe budget", spec.Tenant, ss.Name)
+		}
+		if len(ss.Backends) == 0 {
+			return fmt.Errorf("vpc: tenant %s: service %q has no backends", spec.Tenant, ss.Name)
+		}
+		seenBackends := make(map[string]bool, len(ss.Backends))
+		for _, bs := range ss.Backends {
+			if (bs.Member == "") == (bs.VM == "") {
+				return fmt.Errorf("vpc: tenant %s: service %q: a backend names exactly one member or VM",
+					spec.Tenant, ss.Name)
+			}
+			if seenBackends[bs.name()] {
+				return fmt.Errorf("vpc: tenant %s: service %q lists backend %q twice",
+					spec.Tenant, ss.Name, bs.name())
+			}
+			seenBackends[bs.name()] = true
+			if bs.Member != "" {
+				member := false
+				for _, m := range ns.Members {
+					if m == bs.Member {
+						member = true
+						break
+					}
+				}
+				if !member {
+					return fmt.Errorf("vpc: tenant %s: service %q: backend %q is not a member of network %q",
+						spec.Tenant, ss.Name, bs.Member, ss.Network)
+				}
+				continue
+			}
+			found := false
+			for j := range spec.VMs {
+				if spec.VMs[j].Name != bs.VM {
+					continue
+				}
+				found = true
+				if spec.VMs[j].Network != ss.Network {
+					return fmt.Errorf("vpc: tenant %s: service %q: backend VM %q lives in network %q, not %q",
+						spec.Tenant, ss.Name, bs.VM, spec.VMs[j].Network, ss.Network)
+				}
+			}
+			if !found {
+				return fmt.Errorf("vpc: tenant %s: service %q: backend names unknown VM %q",
+					spec.Tenant, ss.Name, bs.VM)
+			}
+		}
+		if ss.VIP == "" {
+			if ns.ServicePool == "" {
+				return fmt.Errorf("vpc: tenant %s: service %q: no VIP pinned and network %q declares no service pool",
+					spec.Tenant, ss.Name, ss.Network)
+			}
+			continue
+		}
+		vip, err := netsim.ParseIP(ss.VIP)
+		if err != nil {
+			return fmt.Errorf("vpc: tenant %s: service %q: %w", spec.Tenant, ss.Name, err)
+		}
+		cidr, _ := ParseCIDR(ns.CIDR) // validated above
+		switch {
+		case !cidr.Contains(vip):
+			return fmt.Errorf("vpc: tenant %s: service %q: VIP %s outside network %q (%s)",
+				spec.Tenant, ss.Name, ss.VIP, ns.Name, ns.CIDR)
+		case vip == cidr.Base || vip == cidr.Broadcast():
+			return fmt.Errorf("vpc: tenant %s: service %q: VIP %s is the network/broadcast address",
+				spec.Tenant, ss.Name, ss.VIP)
+		case vip == cidr.Base+1:
+			return fmt.Errorf("vpc: tenant %s: service %q: VIP %s is the network's gateway",
+				spec.Tenant, ss.Name, ss.VIP)
+		}
+		if ns.ServicePool != "" {
+			pool, _ := ParseCIDR(ns.ServicePool) // validated above
+			if !pool.Contains(vip) {
+				return fmt.Errorf("vpc: tenant %s: service %q: VIP %s outside network %q's declared service pool %s",
+					spec.Tenant, ss.Name, ss.VIP, ns.Name, ns.ServicePool)
+			}
+		}
+		if vmIPs[ss.Network][vip] {
+			return fmt.Errorf("vpc: tenant %s: service %q: VIP %s collides with a VM address in network %q",
+				spec.Tenant, ss.Name, ss.VIP, ss.Network)
+		}
+		if svcVIPs[ss.Network] == nil {
+			svcVIPs[ss.Network] = make(map[netsim.IP]bool)
+		}
+		if svcVIPs[ss.Network][vip] {
+			return fmt.Errorf("vpc: tenant %s: two services claim VIP %s in network %q", spec.Tenant, ss.VIP, ss.Network)
+		}
+		svcVIPs[ss.Network][vip] = true
 	}
 	// The VM capacity envelope is declarative: a spec that exceeds it is
 	// refused outright, before any state is touched.

@@ -280,7 +280,10 @@ func (mg *Manager) reconcileVMs(p *sim.Proc, spec *TenantSpec, ts *tenantState, 
 	// address no live VM holds is an orphan — left by a kept-through-
 	// eviction reservation whose apply failed before re-placement, then
 	// resolved by a later spec that dropped the VM. Release them so the
-	// pools get the addresses back.
+	// pools get the addresses back. Service VIPs also live in the
+	// reserved map (including those carried through a same-apply
+	// rebuild, which the service pass re-binds after this sweep), so
+	// they count as claimed.
 	for i := range spec.Networks {
 		n, ok := mg.networks[spec.Networks[i].Name]
 		if !ok {
@@ -290,6 +293,11 @@ func (mg *Manager) reconcileVMs(p *sim.Proc, spec *TenantSpec, ts *tenantState, 
 		for _, rec := range ts.vms {
 			if rec.spec.Network == n.Name {
 				claimed[rec.vm.IP()] = true
+			}
+		}
+		for _, rec := range ts.services {
+			if rec.spec.Network == n.Name && rec.vip != 0 {
+				claimed[rec.vip] = true
 			}
 		}
 		for ip := range n.reserved {
@@ -303,8 +311,10 @@ func (mg *Manager) reconcileVMs(p *sim.Proc, spec *TenantSpec, ts *tenantState, 
 
 // ScrapeInto adds the control plane's labeled series to r: every
 // managed VM's migration counters under the VM's {tenant, net, host}
-// labels (prefixed "vm."), and the placement scheduler's decision
-// counters under a "placement." prefix when the scheduler has run.
+// labels (prefixed "vm."), every live service's probe counters under
+// the service's {tenant, net} labels (prefixed "service.<name>."), and
+// the placement scheduler's decision counters under a "placement."
+// prefix when the scheduler has run.
 func (mg *Manager) ScrapeInto(r *obs.Registry) {
 	tenants := make([]string, 0, len(mg.tenants))
 	for t := range mg.tenants {
@@ -323,6 +333,20 @@ func (mg *Manager) ScrapeInto(r *obs.Registry) {
 			r.AddCounterSetPrefix("vm.",
 				obs.Labels{Tenant: t, Net: rec.spec.Network, Host: rec.host},
 				rec.vm.Counters())
+		}
+		svcNames := make([]string, 0, len(ts.services))
+		for name := range ts.services {
+			svcNames = append(svcNames, name)
+		}
+		sort.Strings(svcNames)
+		for _, name := range svcNames {
+			rec := ts.services[name]
+			if rec.svc == nil {
+				continue
+			}
+			r.AddCounterSetPrefix("service."+name+".",
+				obs.Labels{Tenant: t, Net: rec.spec.Network},
+				rec.svc.Counters())
 		}
 	}
 	if mg.sched != nil {

@@ -55,6 +55,7 @@ var (
 	ErrAlreadyMember = errors.New("vpc: host is already a member of another network")
 	ErrPoolExhausted = errors.New("vpc: address pool exhausted")
 	ErrNotMember     = errors.New("vpc: host is not a member")
+	ErrHasServices   = errors.New("vpc: network still has live services; remove them from the tenant spec first")
 )
 
 // CIDR is an IPv4 prefix.
@@ -111,6 +112,10 @@ type NetworkConfig struct {
 	StaticAddressing bool
 	// Lease is the DHCP lease duration (default 10 minutes).
 	Lease sim.Duration
+	// ServicePool carves a sub-CIDR out of the network's address space
+	// for service VIPs: the DHCP server never leases it and static
+	// assignment skips it. Empty disables the carve-out.
+	ServicePool string
 }
 
 // Network is one isolated virtual network.
@@ -132,10 +137,17 @@ type Network struct {
 	order   []string // admission order; order[0] is the anchor
 	dhcpSrv *dhcp.Server
 	nextIP  netsim.IP // static-addressing cursor
+	// svcPool is the parsed service VIP carve-out (zero when none).
+	svcPool CIDR
+	hasPool bool
 	// reserved pins addresses assigned outside the pools (VM spec IPs):
 	// static assignment skips them and the DHCP server never leases
 	// them.
 	reserved map[netsim.IP]bool
+
+	// repair is the mesh-repair loop (see startMeshRepair).
+	repair    *sim.Proc
+	repairing bool
 }
 
 // Member is one host's membership in a network.
@@ -202,6 +214,15 @@ func (n *Network) releaseIP(ip netsim.IP) {
 	}
 }
 
+// ServicePool reports the network's VIP carve-out (false when none is
+// declared).
+func (n *Network) ServicePool() (CIDR, bool) { return n.svcPool, n.hasPool }
+
+// inServicePool reports whether ip falls inside the VIP carve-out.
+func (n *Network) inServicePool(ip netsim.IP) bool {
+	return n.hasPool && n.svcPool.Contains(ip)
+}
+
 // Config returns the configuration the network was created with.
 func (n *Network) Config() NetworkConfig { return n.cfg }
 
@@ -260,6 +281,20 @@ func (mg *Manager) Create(name, cidr string, cfg NetworkConfig) (*Network, error
 	if err != nil {
 		return nil, err
 	}
+	var pool CIDR
+	hasPool := false
+	if cfg.ServicePool != "" {
+		pool, err = ParseCIDR(cfg.ServicePool)
+		if err != nil {
+			return nil, err
+		}
+		if !prefix.Contains(pool.Base) || !prefix.Contains(pool.Broadcast()) ||
+			pool.Base <= prefix.Base+1 || pool.Broadcast() >= prefix.Broadcast() {
+			return nil, fmt.Errorf("vpc: service pool %s must sit strictly inside %s (past the gateway, before broadcast)",
+				cfg.ServicePool, cidr)
+		}
+		hasPool = true
+	}
 	vni := cfg.VNI
 	if vni == 0 {
 		vni = mg.nextVNI
@@ -286,6 +321,8 @@ func (mg *Manager) Create(name, cidr string, cfg NetworkConfig) (*Network, error
 		members:  make(map[string]*Member),
 		nextIP:   prefix.Base + 2,
 		reserved: make(map[netsim.IP]bool),
+		svcPool:  pool,
+		hasPool:  hasPool,
 	}
 	mg.networks[name] = n
 	mg.byVNI[vni] = n
@@ -316,7 +353,16 @@ func (mg *Manager) Delete(name string) error {
 				return ErrPeered
 			}
 		}
+		// A live service's VIP, aliases and probe loop all hang off this
+		// network; the reconciler's service pre-pass always evicts them
+		// before teardown reaches here.
+		for _, rec := range ts.services {
+			if rec.spec.Network == name {
+				return ErrHasServices
+			}
+		}
 	}
+	n.stopMeshRepair()
 	delete(mg.networks, name)
 	delete(mg.byVNI, n.VNI)
 	mg.retired[n.VNI] = true
@@ -346,6 +392,68 @@ func (mg *Manager) Networks() []*Network {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// meshRepairInterval paces the per-network repair loop. It is longer
+// than the default tunnel timeout divided by anything meaningful on
+// purpose: repair is the slow path for members that were cut off long
+// enough to be garbage-collected, not a keepalive.
+const meshRepairInterval = 10 * sim.Second
+
+// startMeshRepair spawns the network's mesh-repair loop (idempotent).
+// The intra-tenant mesh is built once at admission; a member cut off
+// from the fabric longer than the tunnel timeout has its tunnels
+// garbage-collected on both ends, and nothing on the data path
+// re-creates them — so a recovered member (a healed partition, a
+// restarted site) would stay unreachable forever. The loop walks member
+// pairs every interval and re-punches the missing edges through the
+// current home brokers, best effort: a still-dark peer just fails and
+// is retried next round.
+func (n *Network) startMeshRepair(eng *sim.Engine) {
+	if n.repairing {
+		return
+	}
+	n.repairing = true
+	// Gate on the flag, not the interrupt: ConnectTo parks the proc in
+	// its own wait loops, which can swallow a stop signal.
+	n.repair = eng.Spawn("vpc/"+n.Name+"/mesh-repair", func(p *sim.Proc) {
+		for n.repairing && p.Sleep(meshRepairInterval) {
+			n.repairMesh(p)
+		}
+	})
+}
+
+// repairMesh runs one repair round: re-connect every member pair whose
+// tunnel is missing or not established.
+func (n *Network) repairMesh(p *sim.Proc) {
+	order := append([]string(nil), n.order...)
+	for i, a := range order {
+		for _, b := range order[i+1:] {
+			if !n.repairing {
+				return
+			}
+			ma, oka := n.members[a]
+			mb, okb := n.members[b]
+			if !oka || !okb { // evicted while we slept
+				continue
+			}
+			if t, ok := ma.Host.Tunnel(b); ok && t.Established() {
+				continue
+			}
+			_, _ = ma.Host.ConnectTo(p, mb.Host.Name())
+		}
+	}
+}
+
+// stopMeshRepair ends the repair loop (idempotent).
+func (n *Network) stopMeshRepair() {
+	if !n.repairing {
+		return
+	}
+	n.repairing = false
+	if n.repair != nil && !n.repair.Dead() {
+		n.repair.Interrupt()
+	}
 }
 
 // Admit brings a WAVNet host into a network end-to-end: VPC join
@@ -401,6 +509,7 @@ func (mg *Manager) Admit(p *sim.Proc, h *core.Host, network string) (*Member, er
 	}
 	n.members[h.Name()] = m
 	n.order = append(n.order, h.Name())
+	n.startMeshRepair(h.Phys().Engine())
 	return m, nil
 }
 
@@ -427,6 +536,15 @@ func (n *Network) anchor(m *Member) error {
 	if err != nil {
 		return err
 	}
+	// The service VIP carve-out is reserved wholesale: the pool's
+	// addresses belong to services, never to leases. Individual VIPs are
+	// additionally pinned via reserveIP at service admission (so pinned
+	// VIPs outside any pool are protected too).
+	if n.hasPool {
+		for ip := n.svcPool.Base; ip <= n.svcPool.Broadcast(); ip++ {
+			srv.Reserve(ip)
+		}
+	}
 	n.dhcpSrv = srv
 	return nil
 }
@@ -442,7 +560,7 @@ func (n *Network) address(p *sim.Proc, m *Member) error {
 	m.vif = vif
 	stackName := fmt.Sprintf("%s-%s", h.Name(), n.Name)
 	if n.cfg.StaticAddressing {
-		for n.reserved[n.nextIP] {
+		for n.reserved[n.nextIP] || n.inServicePool(n.nextIP) {
 			n.nextIP++
 		}
 		ip := n.nextIP
@@ -501,6 +619,20 @@ func (mg *Manager) Evict(p *sim.Proc, h *core.Host, network string) error {
 			if rec.host == h.Name() && rec.spec.Network == n.Name {
 				return fmt.Errorf("vpc: %s still runs VM %q; remove it from the tenant spec first",
 					h.Name(), name)
+			}
+		}
+		// Likewise a member still backing a LIVE service: its stack
+		// aliases the VIP and the probe loop pings it. The service
+		// pre-pass stops affected services before evictions run.
+		for name, rec := range ts.services {
+			if rec.svc == nil || rec.spec.Network != n.Name {
+				continue
+			}
+			for _, bs := range rec.spec.Backends {
+				if bs.Member == h.Name() {
+					return fmt.Errorf("vpc: %s still backs service %q; remove it from the tenant spec first",
+						h.Name(), name)
+				}
 			}
 		}
 	}

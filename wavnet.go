@@ -229,6 +229,14 @@ type (
 	// on ("" lets the placement scheduler choose). Apply converges a
 	// changed Host by live migration.
 	VMSpec = vpc.VMSpec
+	// ServiceSpec declares one L3 service: a VIP (allocated from the
+	// network's ServicePool, or pinned inside it) steered across
+	// health-checked backends. Apply converges it like any other spec
+	// object (service-create/service-update/service-evict).
+	ServiceSpec = vpc.ServiceSpec
+	// BackendSpec names one backend of a service: a member machine key
+	// or a managed VM of the same network (exactly one of the two).
+	BackendSpec = vpc.BackendSpec
 	// QuotaSpec caps a tenant's send rate per (member host, tunnel) and
 	// its VM capacity (count and total memory).
 	QuotaSpec = vpc.QuotaSpec
@@ -236,6 +244,16 @@ type (
 	ApplyReport = vpc.ApplyReport
 	// ApplyAction is one state change in an ApplyReport.
 	ApplyAction = vpc.Action
+)
+
+// Service steering policies (ServiceSpec.Policy).
+const (
+	// PolicyAnycastNearest steers each client to the nearest healthy
+	// backend by the distance locator's RTT matrix.
+	PolicyAnycastNearest = rendezvous.PolicyAnycastNearest
+	// PolicyFailoverOrdered keeps all traffic on the first healthy
+	// backend in declared order.
+	PolicyFailoverOrdered = rendezvous.PolicyFailoverOrdered
 )
 
 // Federated rendezvous: a network's records replicate only among the

@@ -68,8 +68,8 @@ func TestFacadeGrouping(t *testing.T) {
 }
 
 func TestFacadeExperimentRegistry(t *testing.T) {
-	if len(Experiments()) != 20 {
-		t.Fatalf("expected 20 experiments, got %d", len(Experiments()))
+	if len(Experiments()) != 21 {
+		t.Fatalf("expected 21 experiments, got %d", len(Experiments()))
 	}
 	if _, ok := Experiment("figure13"); !ok {
 		t.Fatal("figure13 missing")
@@ -91,6 +91,9 @@ func TestFacadeExperimentRegistry(t *testing.T) {
 	}
 	if _, ok := Experiment("migration"); !ok {
 		t.Fatal("migration missing")
+	}
+	if _, ok := Experiment("service"); !ok {
+		t.Fatal("service missing")
 	}
 	// Run the cheapest real experiment end to end through the facade.
 	r, _ := Experiment("figure13")
