@@ -1,17 +1,23 @@
 package core
 
 import (
+	"encoding/binary"
 	"testing"
 
 	"wavnet/internal/ether"
+	"wavnet/internal/rendezvous"
 	"wavnet/internal/sim"
 )
 
 // The benchmarks below time the per-frame work the WAV-Switch does on
 // the hot data-plane path — encapsulate, decapsulate, learn, look up —
-// with and without the VNI tag, to show multi-tenancy costs ~nothing:
+// with and without the VNI tag, to show multi-tenancy costs ~nothing.
+// They drive the scratch-reuse forms the forwarding path uses
+// (AppendVNIFrame into a reused buffer, UnmarshalVNIFrameInto a
+// caller-owned frame, the COW tables) and are pinned at 0 allocs/op by
+// the alloc-budget CI job:
 //
-//	go test ./internal/core -bench=Forwarding -benchmem
+//	go test ./internal/core -bench='Forward|Encap' -benchmem
 func benchmarkForwarding(b *testing.B, vni uint32) {
 	eng := sim.NewEngine(1)
 	table := ether.NewVNITable[int](eng, 0)
@@ -22,11 +28,13 @@ func benchmarkForwarding(b *testing.B, vni uint32) {
 		Payload: make([]byte, 1400),
 	}
 	table.Learn(vni, f.Dst, 7)
+	wire := make([]byte, 0, VNIEncapLen(vni)+f.WireLen())
+	var got ether.Frame
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		wire := MarshalVNIFrame(vni, f)
-		gotVNI, got, err := UnmarshalVNIFrame(wire)
+		wire = AppendVNIFrame(wire[:0], vni, f)
+		gotVNI, err := UnmarshalVNIFrameInto(&got, wire)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -39,3 +47,28 @@ func benchmarkForwarding(b *testing.B, vni uint32) {
 
 func BenchmarkForwardingUntagged(b *testing.B)  { benchmarkForwarding(b, 0) }
 func BenchmarkForwardingVNITagged(b *testing.B) { benchmarkForwarding(b, 42) }
+
+// BenchmarkEncapRelayWrap times the relay-envelope form of the encap:
+// the frame is encoded once with RelayHeaderLen headroom and the
+// 9-byte envelope header is filled in place, the way switchFrame wraps
+// frames for brokered tunnels without a second buffer or copy.
+func BenchmarkEncapRelayWrap(b *testing.B) {
+	f := &ether.Frame{
+		Dst:     ether.SeqMAC(1),
+		Src:     ether.SeqMAC(2),
+		Type:    ether.TypeIPv4,
+		Payload: make([]byte, 1400),
+	}
+	const vni = 42
+	buf := make([]byte, rendezvous.RelayHeaderLen, rendezvous.RelayHeaderLen+VNIEncapLen(vni)+f.WireLen())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire := AppendVNIFrame(buf[:rendezvous.RelayHeaderLen], vni, f)
+		wire[0] = rendezvous.RelayMagic
+		binary.BigEndian.PutUint64(wire[1:], uint64(i))
+		if len(wire) != rendezvous.RelayHeaderLen+VNIEncapLen(vni)+f.WireLen() {
+			b.Fatal("bad wrap length")
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"sync/atomic"
 
 	"wavnet/internal/ether"
 	"wavnet/internal/netsim"
@@ -36,10 +37,7 @@ func (h *Host) onPacket(pkt netsim.Packet) {
 	case paPunch, paPunchAck:
 		h.onPunch(pkt)
 	case paEcho:
-		// Bounce with the response type, payload otherwise unchanged.
-		resp := append([]byte(nil), pkt.Payload...)
-		resp[0] = paEchoResp
-		h.sock.SendTo(pkt.Src, resp)
+		h.bounceEcho(nil, pkt.Src, pkt.Payload)
 	case paEchoResp:
 		h.onEchoResp(pkt.Payload)
 	case paVNISet:
@@ -74,9 +72,7 @@ func (h *Host) onRelayEnvelope(pkt netsim.Packet) {
 	case paFrame, paFrameVNI:
 		h.onTunnelFrame(t, inner)
 	case paEcho:
-		resp := append([]byte(nil), inner...)
-		resp[0] = paEchoResp
-		h.tunnelSend(t, resp)
+		h.bounceEcho(t, pkt.Src, inner)
 	case paEchoResp:
 		h.onEchoResp(inner)
 	case paVNISet:
@@ -87,7 +83,10 @@ func (h *Host) onRelayEnvelope(pkt netsim.Packet) {
 }
 
 // tunnelSend transmits one Packet Assembler packet over a tunnel,
-// wrapping it in the relay envelope when the tunnel is brokered.
+// wrapping it in the relay envelope when the tunnel is brokered. The
+// envelope is freshly allocated because the broker retains and
+// forwards it; the frame fast path avoids this copy entirely by
+// encoding with headroom (see switchFrame).
 func (h *Host) tunnelSend(t *Tunnel, b []byte) {
 	if !t.Relayed {
 		h.sock.SendTo(t.Remote, b)
@@ -98,6 +97,40 @@ func (h *Host) tunnelSend(t *Tunnel, b []byte) {
 	binary.BigEndian.PutUint64(wire[1:], t.relayChan)
 	copy(wire[rendezvous.RelayHeaderLen:], b)
 	h.sock.SendTo(t.Remote, wire)
+}
+
+// tunnelSendPooled is tunnelSend for control packets built in a pooled
+// buffer whose receive handler does not retain the payload (pulses,
+// echo bounces): the buffer is recycled at delivery on the direct path,
+// or immediately after the envelope copy on the relayed path.
+func (h *Host) tunnelSendPooled(t *Tunnel, buf *[]byte) {
+	if !t.Relayed {
+		h.sock.SendToPooled(t.Remote, buf)
+		return
+	}
+	h.tunnelSend(t, *buf)
+	netsim.PutBuf(buf)
+}
+
+// bounceEcho answers a paEcho in place: the payload is copied into a
+// pooled buffer with only the type byte flipped, so both bounce paths
+// (direct socket, relayed tunnel) share one allocation-free branch.
+func (h *Host) bounceEcho(t *Tunnel, src netsim.Addr, payload []byte) {
+	buf := netsim.GetBuf()
+	*buf = append(*buf, payload...)
+	(*buf)[0] = paEchoResp
+	if t == nil {
+		h.sock.SendToPooled(src, buf)
+		return
+	}
+	h.tunnelSendPooled(t, buf)
+}
+
+// pulsePacket builds the 2-byte CONNECT_PULSE in a pooled buffer.
+func pulsePacket() *[]byte {
+	buf := netsim.GetBuf()
+	*buf = append(*buf, paPulse, 0x00)
+	return buf
 }
 
 // startRelay establishes a brokered tunnel from a relay-order: no
@@ -117,7 +150,7 @@ func (h *Host) startRelay(rec rendezvous.HostRecord, ch uint64, relay netsim.Add
 	t.relayChan = ch
 	h.byChan[ch] = t
 	t.PulsesOut++
-	h.tunnelSend(t, []byte{paPulse, 0x00})
+	h.tunnelSendPooled(t, pulsePacket())
 	h.establish(t)
 }
 
@@ -252,7 +285,7 @@ func (h *Host) pulse(t *Tunnel) {
 		return
 	}
 	t.PulsesOut++
-	h.tunnelSend(t, []byte{paPulse, 0x00})
+	h.tunnelSendPooled(t, pulsePacket())
 	// Ride the keepalive tick to recover lost VNI announcements: resent
 	// immediately when the segment set changed, else only every
 	// vniRefreshPulses (the keepalive itself stays 2 bytes).
@@ -336,52 +369,81 @@ func (h *Host) onTapFrame(seg *segment, f *ether.Frame) {
 	if f.WireLen() > h.SegmentMTU(seg.vni)+ether.HeaderLen {
 		return // oversized for the tunnel
 	}
-	wire := MarshalVNIFrame(seg.vni, f)
+	if h.cfg.PacketCost > 0 {
+		h.eng.Schedule(h.cfg.PacketCost, func() { h.switchFrame(seg, f) })
+		return
+	}
+	h.switchFrame(seg, f)
+}
+
+// switchFrame encapsulates one outbound frame and forwards it: known
+// unicast to the one tunnel the VNI-scoped table names, everything else
+// flooded in deterministic order. The wire image is built exactly once,
+// with relay-envelope headroom, so direct tunnels send a sub-slice and
+// the first relayed tunnel fills the 9 header bytes in place — no
+// per-send copy. (A flood crossing a second relayed tunnel copies: its
+// envelope carries a different channel and the first one's bytes are
+// already owned by the network.)
+func (h *Host) switchFrame(seg *segment, f *ether.Frame) {
+	const headroom = rendezvous.RelayHeaderLen
+	wire := AppendVNIFrame(make([]byte, headroom, headroom+VNIEncapLen(seg.vni)+f.WireLen()), seg.vni, f)
+	headerChan := uint64(0)
+	headerUsed := false
 	send := func(t *Tunnel) {
 		// Per-tenant metering: a tenant over its quota drops here, at
 		// the sender, before touching the shared tunnel.
-		if !h.quotaAdmit(t, seg.vni, len(wire)) {
+		if !h.quotaAdmit(t, seg.vni, len(wire)-headroom) {
 			return
 		}
 		t.FramesOut++
-		t.BytesOut += uint64(len(wire))
+		t.BytesOut += uint64(len(wire) - headroom)
 		h.FramesSent++
-		h.tunnelSend(t, wire)
-	}
-	deliver := func() {
-		if !f.Dst.IsBroadcast() && !f.Dst.IsMulticast() {
-			if t, ok := h.wswitch.Lookup(seg.vni, f.Dst); ok && t.established {
-				send(t)
-				return
-			}
+		if !t.Relayed {
+			h.sock.SendTo(t.Remote, wire[headroom:])
+			return
 		}
-		h.FloodedFrames++
-		h.floodByVNI[seg.vni]++
-		for _, t := range h.sortedTunnels() {
-			if !t.established {
-				continue
-			}
-			// Smarter flooding: skip tunnels whose far end announced it
-			// has no segment (and no peering route) for this tag — the
-			// frame could only die at their isolation check.
-			if !h.floodUseful(t, seg.vni) {
-				h.SuppressedFloods++
-				h.suppressByVNI[seg.vni]++
-				continue
-			}
+		if !headerUsed || headerChan == t.relayChan {
+			headerUsed, headerChan = true, t.relayChan
+			wire[0] = rendezvous.RelayMagic
+			binary.BigEndian.PutUint64(wire[1:], t.relayChan)
+			h.sock.SendTo(t.Remote, wire)
+			return
+		}
+		h.tunnelSend(t, wire[headroom:])
+	}
+	if !f.Dst.IsBroadcast() && !f.Dst.IsMulticast() {
+		if t, ok := h.wswitch.Lookup(seg.vni, f.Dst); ok && t.established {
 			send(t)
+			return
 		}
 	}
-	if h.cfg.PacketCost > 0 {
-		h.eng.Schedule(h.cfg.PacketCost, deliver)
-	} else {
-		deliver()
+	h.FloodedFrames++
+	atomicBump(seg.flood)
+	for _, t := range h.sortedTunnels() {
+		if !t.established {
+			continue
+		}
+		// Smarter flooding: skip tunnels whose far end announced it
+		// has no segment (and no peering route) for this tag — the
+		// frame could only die at their isolation check.
+		if !h.floodUseful(t, seg.vni) {
+			h.SuppressedFloods++
+			atomicBump(seg.suppress)
+			continue
+		}
+		send(t)
 	}
 }
 
+// atomicBump increments a pre-resolved CounterSet handle.
+func atomicBump(ctr *uint64) { atomic.AddUint64(ctr, 1) }
+
 // sortedTunnels returns tunnels in deterministic order for flooding.
+// The returned slice is a reused scratch: it is only valid until the
+// next call, which every caller satisfies by iterating immediately
+// (sends schedule events rather than re-entering the switch).
 func (h *Host) sortedTunnels() []*Tunnel {
-	out := make([]*Tunnel, 0, len(h.tunnels))
+	out := h.floodScratch[:0]
 	for _, t := range h.tunnels {
 		out = append(out, t)
 	}
@@ -390,6 +452,7 @@ func (h *Host) sortedTunnels() []*Tunnel {
 			out[j], out[j-1] = out[j-1], out[j]
 		}
 	}
+	h.floodScratch = out
 	return out
 }
 
@@ -400,7 +463,11 @@ func (h *Host) sortedTunnels() []*Tunnel {
 // segment's bridge through its tap.
 func (h *Host) onTunnelFrame(t *Tunnel, payload []byte) {
 	t.lastHeard = h.eng.Now()
-	vni, f, err := UnmarshalVNIFrame(payload)
+	// The frame itself is the one decap allocation: its payload aliases
+	// the wire buffer and the bridge retains both past this event, so
+	// neither can come from a pool. The untag decode is allocation-free.
+	f := new(ether.Frame)
+	vni, err := UnmarshalVNIFrameInto(f, payload)
 	if err != nil {
 		return
 	}
@@ -419,10 +486,9 @@ func (h *Host) onTunnelFrame(t *Tunnel, payload []byte) {
 		return
 	}
 	h.wswitch.Learn(vni, f.Src, t)
-	inject := func() { seg.tap.Send(f) }
 	if h.cfg.PacketCost > 0 {
-		h.eng.Schedule(h.cfg.PacketCost, inject)
-	} else {
-		inject()
+		h.eng.Schedule(h.cfg.PacketCost, func() { seg.tap.Send(f) })
+		return
 	}
+	seg.tap.Send(f)
 }

@@ -21,6 +21,7 @@ import (
 	"wavnet/internal/can"
 	"wavnet/internal/ether"
 	"wavnet/internal/ipstack"
+	"wavnet/internal/metrics"
 	"wavnet/internal/netsim"
 	"wavnet/internal/obs"
 	"wavnet/internal/rendezvous"
@@ -185,6 +186,11 @@ type segment struct {
 	bridge *ether.Bridge
 	tap    *ether.BridgePort
 	dom0   *ipstack.Stack
+	// flood / suppress are pre-resolved handles into the host's per-VNI
+	// counter set, so the flood path bumps them with one atomic add
+	// instead of a string-keyed locked map probe.
+	flood    *uint64
+	suppress *uint64
 }
 
 // Host is a WAVNet participant.
@@ -298,9 +304,12 @@ type Host struct {
 	VIPSteers       uint64
 	VIPAnnouncesOut uint64
 	VIPAnnouncesIn  uint64
-	// floodByVNI / suppressByVNI break floods down per virtual network.
-	floodByVNI    map[uint32]uint64
-	suppressByVNI map[uint32]uint64
+	// vniCounters breaks floods and suppressions down per virtual
+	// network ("flood.vni<N>" / "suppress.vni<N>"); the data path bumps
+	// pre-resolved handles cached on each segment (see segment).
+	vniCounters *metrics.CounterSet
+	// floodScratch is the reusable tunnel ordering of sortedTunnels.
+	floodScratch []*Tunnel
 }
 
 // NewHost creates a WAVNet host on a physical machine. The bridge, tap
@@ -308,24 +317,23 @@ type Host struct {
 func NewHost(phys *netsim.Host, name string, cfg Config) (*Host, error) {
 	cfg = cfg.withDefaults()
 	h := &Host{
-		name:          name,
-		phys:          phys,
-		eng:           phys.Engine(),
-		cfg:           cfg,
-		segments:      make(map[uint32]*segment),
-		tunnels:       make(map[string]*Tunnel),
-		byAddr:        make(map[netsim.Addr]*Tunnel),
-		byChan:        make(map[uint64]*Tunnel),
-		waiters:       make(map[uint64]func(*rendezvous.Msg)),
-		connWaiters:   make(map[string][]connWaiter),
-		echoWaiters:   make(map[uint64]func(sim.Duration)),
-		peering:       ether.NewPeeringTable(),
-		vniTenant:     make(map[uint32]string),
-		tenantQuota:   make(map[string]QuotaConfig),
-		floodByVNI:    make(map[uint32]uint64),
-		suppressByVNI: make(map[uint32]uint64),
-		vips:          make(map[uint32]map[netsim.IP]*vipTableEntry),
-		vipRecords:    make(map[string]rendezvous.VIPRecord),
+		name:        name,
+		phys:        phys,
+		eng:         phys.Engine(),
+		cfg:         cfg,
+		segments:    make(map[uint32]*segment),
+		tunnels:     make(map[string]*Tunnel),
+		byAddr:      make(map[netsim.Addr]*Tunnel),
+		byChan:      make(map[uint64]*Tunnel),
+		waiters:     make(map[uint64]func(*rendezvous.Msg)),
+		connWaiters: make(map[string][]connWaiter),
+		echoWaiters: make(map[uint64]func(sim.Duration)),
+		peering:     ether.NewPeeringTable(),
+		vniTenant:   make(map[uint32]string),
+		tenantQuota: make(map[string]QuotaConfig),
+		vniCounters: metrics.NewCounterSet(),
+		vips:        make(map[uint32]map[netsim.IP]*vipTableEntry),
+		vipRecords:  make(map[string]rendezvous.VIPRecord),
 	}
 	sock, err := phys.BindUDP(cfg.Port, h.onPacket)
 	if err != nil {
@@ -344,6 +352,8 @@ func (h *Host) addSegment(vni uint32) *segment {
 		suffix = fmt.Sprintf(".%d", vni)
 	}
 	seg := &segment{vni: vni}
+	seg.flood = h.vniCounters.Handle(fmt.Sprintf("flood.vni%d", vni))
+	seg.suppress = h.vniCounters.Handle(fmt.Sprintf("suppress.vni%d", vni))
 	seg.bridge = ether.NewBridge(h.eng, h.name+"-br0"+suffix, h.cfg.BridgeLatency)
 	seg.tap = seg.bridge.AddPort("wav0" + suffix)
 	seg.tap.SetRecv(func(f *ether.Frame) { h.onTapFrame(seg, f) })

@@ -218,20 +218,22 @@ func (h *Host) VPCCounters() *metrics.CounterSet {
 	c.Set("vip_steers", h.VIPSteers)
 	c.Set("vip_announces_out", h.VIPAnnouncesOut)
 	c.Set("vip_announces_in", h.VIPAnnouncesIn)
-	vnis := make([]uint32, 0, len(h.floodByVNI)+len(h.suppressByVNI))
-	seen := make(map[uint32]bool)
-	for vni := range h.floodByVNI {
-		vnis, seen[vni] = append(vnis, vni), true
-	}
-	for vni := range h.suppressByVNI {
-		if !seen[vni] {
+	// Per-VNI breakdowns, sorted, only for networks with activity (the
+	// handles exist from segment creation even when never bumped).
+	var vnis []uint32
+	for _, name := range h.vniCounters.Names() {
+		var vni uint32
+		if _, err := fmt.Sscanf(name, "flood.vni%d", &vni); err != nil {
+			continue
+		}
+		if h.vniCounters.Get(name) > 0 || h.vniCounters.Get(fmt.Sprintf("suppress.vni%d", vni)) > 0 {
 			vnis = append(vnis, vni)
 		}
 	}
 	sort.Slice(vnis, func(i, j int) bool { return vnis[i] < vnis[j] })
 	for _, vni := range vnis {
-		c.Set(fmt.Sprintf("flood.vni%d", vni), h.floodByVNI[vni])
-		c.Set(fmt.Sprintf("suppress.vni%d", vni), h.suppressByVNI[vni])
+		c.Set(fmt.Sprintf("flood.vni%d", vni), h.vniCounters.Get(fmt.Sprintf("flood.vni%d", vni)))
+		c.Set(fmt.Sprintf("suppress.vni%d", vni), h.vniCounters.Get(fmt.Sprintf("suppress.vni%d", vni)))
 	}
 	return c
 }

@@ -32,47 +32,75 @@ var (
 // virtual network: [paFrame][frame] for VNI 0 (backward compatible),
 // [paFrameVNI][vni:4][frame] otherwise.
 func MarshalVNIFrame(vni uint32, f *ether.Frame) []byte {
+	return AppendVNIFrame(nil, vni, f)
+}
+
+// AppendVNIFrame appends the frame's tunnel encapsulation to dst and
+// returns the extended slice. A dst with enough capacity (VNIEncapLen
+// beyond its length) makes the tag path allocation-free — the form the
+// forwarding fast path uses with pooled buffers.
+func AppendVNIFrame(dst []byte, vni uint32, f *ether.Frame) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, VNIEncapLen(vni)+f.WireLen())...)
+	wire := dst[off:]
 	if vni == 0 {
-		wire := make([]byte, 1+f.WireLen())
 		wire[0] = paFrame
 		f.MarshalTo(wire[1:])
-		return wire
+		return dst
 	}
-	wire := make([]byte, 1+VNITagLen+f.WireLen())
 	wire[0] = paFrameVNI
 	binary.BigEndian.PutUint32(wire[1:], vni)
 	f.MarshalTo(wire[1+VNITagLen:])
-	return wire
+	return dst
+}
+
+// VNIEncapLen is the encapsulation overhead ahead of the inner frame:
+// one PA type byte, plus the tag for a non-default VNI.
+func VNIEncapLen(vni uint32) int {
+	if vni == 0 {
+		return 1
+	}
+	return 1 + VNITagLen
 }
 
 // UnmarshalVNIFrame decodes a tunneled frame encapsulation (either
 // wire format), returning the VNI it is tagged with. The frame payload
 // aliases b.
 func UnmarshalVNIFrame(b []byte) (uint32, *ether.Frame, error) {
+	f := new(ether.Frame)
+	vni, err := UnmarshalVNIFrameInto(f, b)
+	if err != nil {
+		return 0, nil, err
+	}
+	return vni, f, nil
+}
+
+// UnmarshalVNIFrameInto decodes the encapsulation into a caller-owned
+// frame, returning the VNI. The untag path allocates nothing; the frame
+// payload aliases b.
+func UnmarshalVNIFrameInto(f *ether.Frame, b []byte) (uint32, error) {
 	if len(b) == 0 {
-		return 0, nil, ErrShortEncap
+		return 0, ErrShortEncap
 	}
 	switch b[0] {
 	case paFrame:
-		f, err := ether.UnmarshalFrame(b[1:])
-		if err != nil {
-			return 0, nil, err
+		if err := ether.UnmarshalFrameInto(f, b[1:]); err != nil {
+			return 0, err
 		}
-		return 0, f, nil
+		return 0, nil
 	case paFrameVNI:
 		if len(b) < 1+VNITagLen+ether.HeaderLen {
-			return 0, nil, ErrShortEncap
+			return 0, ErrShortEncap
 		}
 		vni := binary.BigEndian.Uint32(b[1:])
 		if vni == 0 {
-			return 0, nil, ErrReservedVNI
+			return 0, ErrReservedVNI
 		}
-		f, err := ether.UnmarshalFrame(b[1+VNITagLen:])
-		if err != nil {
-			return 0, nil, err
+		if err := ether.UnmarshalFrameInto(f, b[1+VNITagLen:]); err != nil {
+			return 0, err
 		}
-		return vni, f, nil
+		return vni, nil
 	default:
-		return 0, nil, ErrBadEncap
+		return 0, ErrBadEncap
 	}
 }

@@ -9,6 +9,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"wavnet/internal/netsim"
 	"wavnet/internal/sim"
@@ -77,14 +79,27 @@ func (f *Frame) MarshalTo(b []byte) int {
 
 // UnmarshalFrame decodes a tunneled frame. The payload aliases b.
 func UnmarshalFrame(b []byte) (*Frame, error) {
-	if len(b) < HeaderLen {
-		return nil, errors.New("ether: short frame")
+	f := new(Frame)
+	if err := UnmarshalFrameInto(f, b); err != nil {
+		return nil, err
 	}
-	f := &Frame{Type: binary.BigEndian.Uint16(b[12:14]), Payload: b[HeaderLen:]}
-	copy(f.Dst[:], b[0:6])
-	copy(f.Src[:], b[6:12])
 	return f, nil
 }
+
+// UnmarshalFrameInto decodes a tunneled frame into a caller-owned
+// Frame, allocating nothing. The payload aliases b.
+func UnmarshalFrameInto(f *Frame, b []byte) error {
+	if len(b) < HeaderLen {
+		return errShortFrame
+	}
+	copy(f.Dst[:], b[0:6])
+	copy(f.Src[:], b[6:12])
+	f.Type = binary.BigEndian.Uint16(b[12:14])
+	f.Payload = b[HeaderLen:]
+	return nil
+}
+
+var errShortFrame = errors.New("ether: short frame")
 
 // ARP operation codes.
 const (
@@ -144,15 +159,25 @@ func GratuitousARP(mac MAC, ip netsim.IP) *Frame {
 
 // MACTable is a learning table with entry aging, generic over the port
 // type so both the software bridge and the WAV-Switch can use it.
+//
+// It is copy-on-write: the entry map is immutable once published, so
+// forwarding lookups and refresh-learns of known MACs are lock-free
+// atomic reads/writes and never contend with structural changes. Only
+// mutations that change the key set (a new MAC, Forget, ForgetPort)
+// take the mutex, rebuild the map — sweeping aged-out entries while
+// they are at it — and publish the copy. Lookup is a pure read: a stale
+// entry reports a miss and is reclaimed by the next rebuild or an
+// explicit Sweep, never on the fast path.
 type MACTable[P comparable] struct {
 	eng     *sim.Engine
 	AgeTime sim.Duration
-	entries map[MAC]*macEntry[P]
+	mu      sync.Mutex // serializes map rebuilds only
+	entries atomic.Pointer[map[MAC]*macEntry[P]]
 }
 
 type macEntry[P comparable] struct {
-	port P
-	seen sim.Time
+	port atomic.Pointer[P]
+	seen atomic.Int64 // sim.Time of the last Learn
 }
 
 // NewMACTable creates a table; ageTime <= 0 selects 300 s (the Linux
@@ -161,49 +186,102 @@ func NewMACTable[P comparable](eng *sim.Engine, ageTime sim.Duration) *MACTable[
 	if ageTime <= 0 {
 		ageTime = 300 * sim.Second
 	}
-	return &MACTable[P]{eng: eng, AgeTime: ageTime, entries: make(map[MAC]*macEntry[P])}
+	t := &MACTable[P]{eng: eng, AgeTime: ageTime}
+	m := make(map[MAC]*macEntry[P])
+	t.entries.Store(&m)
+	return t
 }
 
-// Learn records that mac was seen on port.
+// Learn records that mac was seen on port. Refreshing a known MAC is
+// the data-path case and is allocation-free and lock-free; the first
+// sighting of a MAC rebuilds the map under the mutex.
 func (t *MACTable[P]) Learn(mac MAC, port P) {
 	if mac.IsMulticast() {
 		return
 	}
-	e, ok := t.entries[mac]
-	if !ok {
-		e = &macEntry[P]{}
-		t.entries[mac] = e
+	if e, ok := (*t.entries.Load())[mac]; ok {
+		if *e.port.Load() != port {
+			p := port
+			e.port.Store(&p)
+		}
+		e.seen.Store(int64(t.eng.Now()))
+		return
 	}
-	e.port = port
-	e.seen = t.eng.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := (*t.entries.Load())[mac]; ok { // raced with another learner
+		p := port
+		e.port.Store(&p)
+		e.seen.Store(int64(t.eng.Now()))
+		return
+	}
+	e := &macEntry[P]{}
+	p := port
+	e.port.Store(&p)
+	e.seen.Store(int64(t.eng.Now()))
+	t.rebuild(func(m map[MAC]*macEntry[P]) { m[mac] = e })
+}
+
+// rebuild copies the published map, dropping aged-out entries along the
+// way, applies mutate to the copy, and publishes it. Caller holds mu.
+func (t *MACTable[P]) rebuild(mutate func(map[MAC]*macEntry[P])) {
+	old := *t.entries.Load()
+	now := t.eng.Now()
+	m := make(map[MAC]*macEntry[P], len(old)+1)
+	for mac, e := range old {
+		if now.Sub(sim.Time(e.seen.Load())) > t.AgeTime {
+			continue
+		}
+		m[mac] = e
+	}
+	if mutate != nil {
+		mutate(m)
+	}
+	t.entries.Store(&m)
 }
 
 // Lookup returns the port mac was last seen on, if the entry is fresh.
+// It is a pure lock-free read safe to call concurrently with Learn.
 func (t *MACTable[P]) Lookup(mac MAC) (P, bool) {
-	var zero P
-	e, ok := t.entries[mac]
-	if !ok {
+	e, ok := (*t.entries.Load())[mac]
+	if !ok || t.eng.Now().Sub(sim.Time(e.seen.Load())) > t.AgeTime {
+		var zero P
 		return zero, false
 	}
-	if t.eng.Now().Sub(e.seen) > t.AgeTime {
-		delete(t.entries, mac)
-		return zero, false
-	}
-	return e.port, true
+	return *e.port.Load(), true
 }
 
 // Forget drops the entry for mac.
-func (t *MACTable[P]) Forget(mac MAC) { delete(t.entries, mac) }
+func (t *MACTable[P]) Forget(mac MAC) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := (*t.entries.Load())[mac]; !ok {
+		return
+	}
+	t.rebuild(func(m map[MAC]*macEntry[P]) { delete(m, mac) })
+}
 
 // ForgetPort drops every entry pointing at port (used when a tunnel or
 // bridge port goes away).
 func (t *MACTable[P]) ForgetPort(port P) {
-	for mac, e := range t.entries {
-		if e.port == port {
-			delete(t.entries, mac)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rebuild(func(m map[MAC]*macEntry[P]) {
+		for mac, e := range m {
+			if *e.port.Load() == port {
+				delete(m, mac)
+			}
 		}
-	}
+	})
 }
 
-// Len reports the number of live entries (without aging them).
-func (t *MACTable[P]) Len() int { return len(t.entries) }
+// Sweep reclaims aged-out entries off the fast path.
+func (t *MACTable[P]) Sweep() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rebuild(nil)
+}
+
+// Len reports the number of entries still resident, fresh or not
+// (aged-out entries linger until the next rebuild or Sweep).
+func (t *MACTable[P]) Len() int { return len(*t.entries.Load()) }

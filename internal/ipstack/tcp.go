@@ -91,6 +91,8 @@ type Conn struct {
 	rtxTimer       *sim.Timer
 	rtxTries       int
 	backoff        int
+	tlpTimer       *sim.Timer
+	tlpOut         bool
 	srtt, rttvar   sim.Duration
 	rto            sim.Duration
 	rttPending     bool
@@ -126,6 +128,7 @@ type Conn struct {
 	SegsIn, SegsOut   uint64
 	Retransmits       uint64
 	FastRetransmits   uint64
+	TailProbes        uint64
 	Timeouts          uint64
 	DupAcksSeen       uint64
 	timeWaitEv        *sim.Event
@@ -232,6 +235,7 @@ func (s *Stack) newConn(key connKey, st connState) *Conn {
 	}
 	c.cwnd = float64(10 * c.mss) // IW10
 	c.rtxTimer = sim.NewTimer(s.eng, c.onRTO)
+	c.tlpTimer = sim.NewTimer(s.eng, c.onTLP)
 	c.persistTimer = sim.NewTimer(s.eng, c.onPersist)
 	s.conns[key] = c
 	return c
@@ -376,8 +380,10 @@ func (c *Conn) pump() {
 	}
 	if c.flight() > 0 {
 		c.armRTX()
+		c.armTLP()
 	} else {
 		c.rtxTimer.Stop()
+		c.tlpTimer.Stop()
 	}
 	// Zero-window probing.
 	if c.peerWnd == 0 && len(c.sndBuf) > 0 && c.flight() == 0 {
@@ -417,6 +423,55 @@ func (c *Conn) retransmit() {
 
 func (c *Conn) armRTX() {
 	c.rtxTimer.Reset(c.rto * sim.Duration(c.backoff))
+}
+
+// armTLP schedules a tail-loss probe (RFC 8985-style). When the tail of
+// the stream is in flight and the ACK clock stalls, a dropped last
+// segment (or FIN) would otherwise sit silent until the 200 ms minimum
+// RTO — the dominant cost of short transfers over a drop-tail
+// bottleneck. The probe fires roughly two RTTs after the last ACK and
+// retransmits the highest outstanding segment; if the tail really was
+// lost the resulting SACK opens fast recovery instead of an RTO.
+func (c *Conn) armTLP() {
+	if c.srtt == 0 || c.tlpOut || c.inRecovery || seqGT(c.lostBelow, c.sndUna) {
+		return
+	}
+	pto := 2*c.srtt + 2*sim.Millisecond
+	if pto < 10*sim.Millisecond {
+		pto = 10 * sim.Millisecond
+	}
+	if pto >= c.rto*sim.Duration(c.backoff) {
+		return // RTO fires first anyway
+	}
+	c.tlpTimer.Reset(pto)
+}
+
+// onTLP sends the tail-loss probe: the FIN when all data is
+// acknowledged, otherwise the last full segment of sent data (a FIN
+// cannot be SACKed by the receiver, so probing data keeps the loss
+// signal alive when both were dropped). One probe per flight; the RTO
+// stays armed behind it.
+func (c *Conn) onTLP() {
+	if c.state == stateClosed || c.flight() == 0 || c.inRecovery || seqGT(c.lostBelow, c.sndUna) {
+		return
+	}
+	c.tlpOut = true
+	c.TailProbes++
+	sent := int(c.sndNxt - c.sndUna)
+	if c.finSent {
+		sent--
+	}
+	if sent > 0 {
+		n := sent
+		if n > c.mss {
+			n = c.mss
+		}
+		seq := c.sndUna + uint32(sent-n)
+		c.retransmitRange(seq, seq+uint32(n))
+	} else if c.finSent && !c.finAcked {
+		c.retransmitRange(c.finSeq, c.finSeq+1)
+	}
+	c.armRTX()
 }
 
 func (c *Conn) onRTO() {
@@ -462,6 +517,7 @@ func (c *Conn) onRTO() {
 	c.inRecovery = false
 	c.lostBelow = c.sndNxt
 	c.rtxUntil = c.sndUna
+	c.tlpTimer.Stop()
 	c.pumpLost()
 	c.armRTX()
 }
@@ -777,6 +833,7 @@ func (c *Conn) processAck(seg *tcpSegment) {
 		c.dupAcks = 0
 		c.backoff = 1
 		c.rtxTries = 0
+		c.tlpOut = false
 
 		// RTT sample (Karn-safe: rttPending cleared on RTO).
 		if c.rttPending && seqGEQ(ack, c.rttSeq) {
@@ -806,6 +863,12 @@ func (c *Conn) processAck(seg *tcpSegment) {
 			}
 			c.markLost(c.highestSacked())
 			c.pumpLost()
+			// A lost FIN cannot be marked by the SACK scoreboard: once
+			// every data byte is acknowledged, resend it directly rather
+			// than waiting out the RTO.
+			if c.finSent && !c.finAcked && c.sndUna == c.finSeq {
+				c.retransmitRange(c.finSeq, c.finSeq+1)
+			}
 		} else {
 			if seqGT(c.lostBelow, c.sndUna) {
 				// RTO recovery: retransmission continues under slow start.
@@ -828,8 +891,10 @@ func (c *Conn) processAck(seg *tcpSegment) {
 
 		if c.flight() > 0 {
 			c.armRTX()
+			c.armTLP()
 		} else {
 			c.rtxTimer.Stop()
+			c.tlpTimer.Stop()
 		}
 		c.maybeFinish()
 		c.writeWq.Broadcast()
@@ -848,6 +913,11 @@ func (c *Conn) processAck(seg *tcpSegment) {
 			// NewReno "careful" re-entry (RFC 6582): only halve once per
 			// window of data. Dup ACKs for losses inside a window we
 			// already responded to resume recovery at the current cwnd.
+			c.enterRecovery(seqGEQ(c.sndUna, c.recover))
+		} else if c.tlpOut && !c.inRecovery && len(seg.SACK) > 0 {
+			// The tail probe was SACKed while the hole below it persists:
+			// the tail of the flight was genuinely lost, and no further
+			// dup ACKs are coming to reach the usual threshold of three.
 			c.enterRecovery(seqGEQ(c.sndUna, c.recover))
 		} else if c.inRecovery {
 			c.markLost(c.highestSacked())
@@ -998,6 +1068,7 @@ func (c *Conn) maybeFinish() {
 func (c *Conn) enterTimeWait() {
 	c.setState(stateTimeWait)
 	c.rtxTimer.Stop()
+	c.tlpTimer.Stop()
 	if c.timeWaitEv != nil {
 		c.stack.eng.Cancel(c.timeWaitEv)
 	}
@@ -1010,6 +1081,7 @@ func (c *Conn) setState(s connState) { c.state = s }
 func (c *Conn) remove() {
 	c.setState(stateClosed)
 	c.rtxTimer.Stop()
+	c.tlpTimer.Stop()
 	c.persistTimer.Stop()
 	delete(c.stack.conns, c.key)
 	c.readWq.Broadcast()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // CounterSet is an insertion-ordered collection of named event counters:
@@ -13,42 +14,67 @@ import (
 // poking subsystem struct fields. It is safe for concurrent use: the
 // simulation itself is single-threaded, but experiment drivers and the
 // chaos harness snapshot and Delta sets from helper goroutines.
+//
+// Every counter is a fixed *uint64 slot updated atomically; the mutex
+// guards only name registration and iteration order. Hot paths resolve
+// a slot once with Handle and bump it with atomic.AddUint64 — no lock,
+// no map probe, no allocation per increment — while Get/Delta/String
+// keep reading consistent snapshots of the same slots.
 type CounterSet struct {
 	mu    sync.RWMutex
 	names []string
-	vals  map[string]uint64
+	vals  map[string]*uint64
 }
 
 // NewCounterSet returns an empty set.
 func NewCounterSet() *CounterSet {
-	return &CounterSet{vals: make(map[string]uint64)}
+	return &CounterSet{vals: make(map[string]*uint64)}
 }
+
+// slot returns the counter's value cell, registering the name on first
+// use.
+func (c *CounterSet) slot(name string) *uint64 {
+	c.mu.RLock()
+	p, ok := c.vals[name]
+	c.mu.RUnlock()
+	if ok {
+		return p
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.vals[name]; ok {
+		return p
+	}
+	p = new(uint64)
+	c.names = append(c.names, name)
+	c.vals[name] = p
+	return p
+}
+
+// Handle returns the counter's live value cell for lock-free updates
+// from a hot path: resolve once, then atomic.AddUint64(h, n). The cell
+// stays valid for the set's lifetime and is visible to every reader.
+func (c *CounterSet) Handle(name string) *uint64 { return c.slot(name) }
 
 // Set assigns a counter's value, registering the name on first use.
 func (c *CounterSet) Set(name string, v uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.vals[name]; !ok {
-		c.names = append(c.names, name)
-	}
-	c.vals[name] = v
+	atomic.StoreUint64(c.slot(name), v)
 }
 
 // Add increments a counter by v, registering the name on first use.
 func (c *CounterSet) Add(name string, v uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.vals[name]; !ok {
-		c.names = append(c.names, name)
-	}
-	c.vals[name] += v
+	atomic.AddUint64(c.slot(name), v)
 }
 
 // Get returns a counter's value (0 when absent).
 func (c *CounterSet) Get(name string) uint64 {
 	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.vals[name]
+	p, ok := c.vals[name]
+	c.mu.RUnlock()
+	if !ok {
+		return 0
+	}
+	return atomic.LoadUint64(p)
 }
 
 // Has reports whether the counter was ever set.
@@ -72,8 +98,8 @@ func (c *CounterSet) snapshot() ([]string, map[string]uint64) {
 	defer c.mu.RUnlock()
 	names := append([]string(nil), c.names...)
 	vals := make(map[string]uint64, len(c.vals))
-	for k, v := range c.vals {
-		vals[k] = v
+	for k, p := range c.vals {
+		vals[k] = atomic.LoadUint64(p)
 	}
 	return names, vals
 }

@@ -94,4 +94,7 @@ type Packet struct {
 	Src, Dst Addr
 	Payload  []byte
 	Wire     int
+	// pooled, when non-nil, is the pool-owned buffer backing Payload;
+	// it is recycled after final delivery (see SendToPooled).
+	pooled *[]byte
 }

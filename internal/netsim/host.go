@@ -98,15 +98,18 @@ func (h *Host) ownsIP(ip IP) bool {
 
 func (h *Host) deliverLocal(pkt *Packet) {
 	if h.rawHandler != nil && h.rawHandler(pkt) {
+		// Consumed by NAT: the rewritten copy now owns any pooled buffer.
 		return
 	}
 	h.RecvPackets++
 	h.RecvBytes += uint64(pkt.Wire)
 	if s, ok := h.udpPorts[pkt.Dst.Port]; ok {
 		s.handler(*pkt)
+		pkt.release()
 		return
 	}
 	h.NoSocketDrops++
+	pkt.release()
 }
 
 // SendRaw injects a fully-formed packet into the network from this host;

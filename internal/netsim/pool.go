@@ -1,0 +1,57 @@
+package netsim
+
+import "sync"
+
+// Pooled payload buffers. SendTo does not copy, so a sender normally
+// loses ownership of a payload forever: the slice is retained by
+// in-flight transit closures until delivery. For packets whose receive
+// handler does not retain the payload either (keepalive pulses, echo
+// bounces, punch acks — not frames, which alias into bridges, and not
+// relay envelopes, which brokers forward onward), SendToPooled closes
+// the loop: the buffer is recycled automatically once the final
+// receiver's handler returns, or abandoned to the GC if the packet is
+// dropped in transit. NAT translation preserves the recycling tag
+// because gateways re-emit a copy of the whole Packet struct.
+
+// PooledBufCap is the capacity of pooled payload buffers.
+const PooledBufCap = 256
+
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, PooledBufCap)
+	return &b
+}}
+
+// GetBuf returns a zero-length buffer with PooledBufCap capacity.
+func GetBuf() *[]byte {
+	b := bufPool.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutBuf returns a buffer to the pool.
+func PutBuf(b *[]byte) { bufPool.Put(b) }
+
+// SendToPooled transmits *buf to dst and recycles buf once the packet
+// is delivered and its receive handler has returned. The handler (and
+// any deliver hook) must not retain the payload.
+func (s *UDPSocket) SendToPooled(dst Addr, buf *[]byte) {
+	if s.closed {
+		PutBuf(buf)
+		return
+	}
+	pkt := &Packet{
+		Src:     Addr{IP: s.host.ip, Port: s.port},
+		Dst:     dst,
+		Payload: *buf,
+		pooled:  buf,
+	}
+	s.host.SendRaw(pkt)
+}
+
+// release recycles the packet's pooled buffer, if it carries one.
+func (pkt *Packet) release() {
+	if pkt.pooled != nil {
+		PutBuf(pkt.pooled)
+		pkt.pooled = nil
+	}
+}
