@@ -668,7 +668,9 @@ func (n *Node) JoinSync(p *sim.Proc, seed netsim.Addr) error {
 		p.Unpark()
 	})
 	for !done {
-		p.Park()
+		if !p.Park() {
+			return errors.New("can: join interrupted")
+		}
 	}
 	return err
 }
@@ -683,7 +685,9 @@ func (n *Node) PutSync(p *sim.Proc, res Resource, ttl sim.Duration) error {
 		p.Unpark()
 	})
 	for !done {
-		p.Park()
+		if !p.Park() {
+			return errors.New("can: put interrupted")
+		}
 	}
 	return err
 }
@@ -699,7 +703,9 @@ func (n *Node) LookupSync(p *sim.Proc, point Point) (LookupResult, error) {
 		p.Unpark()
 	})
 	for !done {
-		p.Park()
+		if !p.Park() {
+			return res, errors.New("can: lookup interrupted")
+		}
 	}
 	return res, err
 }

@@ -34,6 +34,11 @@ func (h *Host) onPacket(pkt netsim.Packet) {
 		if t, ok := h.byAddr[pkt.Src]; ok {
 			h.onTunnelFrame(t, pkt.Payload)
 		}
+	case paFrameBatch:
+		if t, ok := h.byAddr[pkt.Src]; ok {
+			t.lastHeard = h.eng.Now()
+			h.onTunnelBatch(t, pkt.Payload)
+		}
 	case paPunch, paPunchAck:
 		h.onPunch(pkt)
 	case paEcho:
@@ -71,6 +76,9 @@ func (h *Host) onRelayEnvelope(pkt netsim.Packet) {
 		t.lastHeard = h.eng.Now()
 	case paFrame, paFrameVNI:
 		h.onTunnelFrame(t, inner)
+	case paFrameBatch:
+		t.lastHeard = h.eng.Now()
+		h.onTunnelBatch(t, inner)
 	case paEcho:
 		h.bounceEcho(t, pkt.Src, inner)
 	case paEchoResp:
@@ -330,7 +338,11 @@ func (h *Host) TunnelRTT(p *sim.Proc, peer string) (sim.Duration, error) {
 	})
 	timer.Reset(h.cfg.RPCTimeout)
 	for !done {
-		p.Park()
+		if !p.Park() {
+			delete(h.echoWaiters, id)
+			timer.Stop()
+			return 0, ErrInterrupted
+		}
 	}
 	timer.Stop()
 	if rtt == 0 {
@@ -378,38 +390,24 @@ func (h *Host) onTapFrame(seg *segment, f *ether.Frame) {
 
 // switchFrame encapsulates one outbound frame and forwards it: known
 // unicast to the one tunnel the VNI-scoped table names, everything else
-// flooded in deterministic order. The wire image is built exactly once,
-// with relay-envelope headroom, so direct tunnels send a sub-slice and
-// the first relayed tunnel fills the 9 header bytes in place — no
-// per-send copy. (A flood crossing a second relayed tunnel copies: its
-// envelope carries a different channel and the first one's bytes are
-// already owned by the network.)
+// flooded in deterministic order. Frames are not sent individually:
+// each admitted frame is encoded straight into its destination tunnel's
+// egress batch (batch.go), which goes out as one aggregated packet —
+// with in-place relay headroom per destination, so even a flood
+// crossing several relayed tunnels on different channels never copies.
 func (h *Host) switchFrame(seg *segment, f *ether.Frame) {
-	const headroom = rendezvous.RelayHeaderLen
-	wire := AppendVNIFrame(make([]byte, headroom, headroom+VNIEncapLen(seg.vni)+f.WireLen()), seg.vni, f)
-	headerChan := uint64(0)
-	headerUsed := false
+	wireLen := VNIEncapLen(seg.vni) + f.WireLen()
 	send := func(t *Tunnel) {
 		// Per-tenant metering: a tenant over its quota drops here, at
-		// the sender, before touching the shared tunnel.
-		if !h.quotaAdmit(t, seg.vni, len(wire)-headroom) {
+		// the sender, per frame and before enqueue — batching never
+		// changes which frames the bucket admits.
+		if !h.quotaAdmit(t, seg.vni, wireLen) {
 			return
 		}
 		t.FramesOut++
-		t.BytesOut += uint64(len(wire) - headroom)
+		t.BytesOut += uint64(wireLen)
 		h.FramesSent++
-		if !t.Relayed {
-			h.sock.SendTo(t.Remote, wire[headroom:])
-			return
-		}
-		if !headerUsed || headerChan == t.relayChan {
-			headerUsed, headerChan = true, t.relayChan
-			wire[0] = rendezvous.RelayMagic
-			binary.BigEndian.PutUint64(wire[1:], t.relayChan)
-			h.sock.SendTo(t.Remote, wire)
-			return
-		}
-		h.tunnelSend(t, wire[headroom:])
+		h.enqueueFrame(t, seg.vni, f)
 	}
 	if !f.Dst.IsBroadcast() && !f.Dst.IsMulticast() {
 		if t, ok := h.wswitch.Lookup(seg.vni, f.Dst); ok && t.established {

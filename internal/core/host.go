@@ -42,6 +42,7 @@ const (
 	paFrameVNI    = 0x17 // VNI-tagged encapsulated Ethernet frame (multi-tenant; 0x16 is rendezvous.RelayMagic)
 	paVNISet      = 0x18 // VNI membership announcement (flood suppression)
 	paVIPAnnounce = 0x19 // service VIP backend health transition (vip.go)
+	paFrameBatch  = 0x1A // aggregated egress batch: [0x1A]([len:2][frame image])* (batch.go)
 )
 
 // Errors returned by Host operations.
@@ -51,6 +52,7 @@ var (
 	ErrTimeout      = errors.New("core: operation timed out")
 	ErrUnreachable  = errors.New("core: rendezvous server unreachable")
 	ErrNoSuchTunnel = errors.New("core: no tunnel to peer")
+	ErrInterrupted  = errors.New("core: operation interrupted")
 )
 
 // Config tunes a WAVNet host.
@@ -85,6 +87,20 @@ type Config struct {
 	// PacketCost is the Packet Assembler's per-packet processing time on
 	// both encapsulation and decapsulation (user-level tap handling).
 	PacketCost sim.Duration
+
+	// BatchMaxBytes / BatchMaxFrames cap one egress batch (batch.go): a
+	// destination's queue is flushed early once its batched payload
+	// would exceed BatchMaxBytes or holds BatchMaxFrames frames.
+	// BatchMaxBytes defaults to the classic 1500-byte path-MTU budget:
+	// a UDP datagram above it would IP-fragment on a real path, and a
+	// fragmented batch dies whole when any fragment drops — measured
+	// here as multi-segment TCP holes that stall recovery into RTOs.
+	// Under the MTU budget a full-size data frame rides alone (legacy
+	// single-frame format, bit-identical to the unbatched wire), while
+	// same-instant small frames — ACK trains, ARP, control chatter —
+	// coalesce. BatchMaxFrames = 1 disables coalescing entirely.
+	BatchMaxBytes  int
+	BatchMaxFrames int
 
 	// Tracer records sim-time spans for the host's multi-step control
 	// flows (tunnel establishment, broker re-home elections); nil
@@ -122,6 +138,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PacketCost <= 0 {
 		c.PacketCost = 15 * sim.Microsecond
+	}
+	if c.BatchMaxBytes <= 0 {
+		c.BatchMaxBytes = 1500
+	}
+	if c.BatchMaxFrames <= 0 {
+		c.BatchMaxFrames = 32
 	}
 	return c
 }
@@ -162,11 +184,21 @@ type Tunnel struct {
 	// quotas are the per-tenant token buckets metering this tunnel.
 	quotas map[string]*tokenBucket
 
+	// egress is this destination's pending batch (batch.go): relay
+	// headroom, the paFrameBatch type byte, then length-prefixed frame
+	// images appended in admission order. egressFrames counts them;
+	// egressQueued marks the tunnel as already on the host's flush
+	// list. The buffer's ownership transfers to the network at flush.
+	egress       []byte
+	egressFrames int
+	egressQueued bool
+
 	// Stats.
-	FramesOut, FramesIn uint64
-	BytesOut, BytesIn   uint64
-	PulsesOut, PulsesIn uint64
-	QuotaDrops          uint64
+	FramesOut, FramesIn   uint64
+	BytesOut, BytesIn     uint64
+	PulsesOut, PulsesIn   uint64
+	QuotaDrops            uint64
+	BatchesOut, BatchesIn uint64
 }
 
 // CarriesVNI reports whether the far end announced a segment for vni
@@ -310,6 +342,21 @@ type Host struct {
 	vniCounters *metrics.CounterSet
 	// floodScratch is the reusable tunnel ordering of sortedTunnels.
 	floodScratch []*Tunnel
+
+	// Egress batcher state (batch.go): destinations with pending
+	// frames in enqueue order (= deterministic flood order), whether
+	// the end-of-timestamp flush hook is already registered for the
+	// current instant, and the cached hook closure (allocated once).
+	pendingFlush []*Tunnel
+	flushHooked  bool
+	flushFn      func()
+	// BatchFlushes counts flushed batches, BatchCapFlushes the subset
+	// forced early by a byte/frame cap, BatchedFrames the frames they
+	// carried; batchSizes is the frames-per-batch distribution.
+	BatchFlushes    uint64
+	BatchCapFlushes uint64
+	BatchedFrames   uint64
+	batchSizes      *obs.Histogram
 }
 
 // NewHost creates a WAVNet host on a physical machine. The bridge, tap
@@ -334,7 +381,9 @@ func NewHost(phys *netsim.Host, name string, cfg Config) (*Host, error) {
 		vniCounters: metrics.NewCounterSet(),
 		vips:        make(map[uint32]map[netsim.IP]*vipTableEntry),
 		vipRecords:  make(map[string]rendezvous.VIPRecord),
+		batchSizes:  obs.NewHistogram(),
 	}
+	h.flushFn = h.flushEgress
 	sock, err := phys.BindUDP(cfg.Port, h.onPacket)
 	if err != nil {
 		return nil, err
@@ -578,7 +627,13 @@ func (h *Host) rpc(p *sim.Proc, m *rendezvous.Msg) (*rendezvous.Msg, error) {
 	})
 	timer.Reset(h.cfg.RPCTimeout)
 	for !done {
-		p.Park()
+		if !p.Park() {
+			// Interrupted: hand the stop request back to the caller
+			// instead of re-parking over it.
+			delete(h.waiters, id)
+			timer.Stop()
+			return nil, ErrInterrupted
+		}
 	}
 	timer.Stop()
 	if resp == nil {
@@ -852,7 +907,11 @@ func (h *Host) bindingRequest(p *sim.Proc, server netsim.Addr) (netsim.Addr, err
 		})
 		timer.Reset(time500ms)
 		for !done {
-			p.Park()
+			if !p.Park() {
+				timer.Stop()
+				h.stunWait = nil
+				return netsim.Addr{}, ErrInterrupted
+			}
 		}
 		timer.Stop()
 		h.stunWait = nil
@@ -960,11 +1019,21 @@ func (h *Host) ConnectTo(p *sim.Proc, peer string) (*Tunnel, error) {
 			}
 		})
 		deadline.Reset(attemptWindow)
+		interrupted := false
 		for !done && deadline.Active() {
-			p.Park()
+			if !p.Park() {
+				interrupted = true
+				break
+			}
 		}
 		deadline.Stop()
 		delete(h.waiters, id)
+		if interrupted {
+			// A stop request (mesh-repair teardown, engine shutdown)
+			// must not be swallowed by another connect attempt.
+			sp.Event("interrupted")
+			return nil, ErrInterrupted
+		}
 		if rpcErr != nil {
 			// A not-found is transient in a federation: the peer may be
 			// homed on another broker whose (possibly batched) record
@@ -974,7 +1043,10 @@ func (h *Host) ConnectTo(p *sim.Proc, peer string) (*Tunnel, error) {
 				sp.Event("transient not-found, retrying")
 				rpcErr = nil
 				done = false
-				p.Sleep(sim.Duration(attempt+1) * 2 * sim.Second)
+				if !p.Sleep(sim.Duration(attempt+1) * 2 * sim.Second) {
+					sp.Event("interrupted")
+					return nil, ErrInterrupted
+				}
 				continue
 			}
 			sp.Event("refused: %v", rpcErr)
@@ -1032,6 +1104,10 @@ func (h *Host) dropTunnel(t *Tunnel) {
 	if t.relayChan != 0 {
 		delete(h.byChan, t.relayChan)
 	}
+	// Abandon any pending egress: the peer is gone. The tunnel may
+	// still sit on pendingFlush; the flush skips empty queues.
+	t.egress = nil
+	t.egressFrames = 0
 	h.wswitch.ForgetPort(t)
 }
 

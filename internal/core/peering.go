@@ -218,6 +218,9 @@ func (h *Host) VPCCounters() *metrics.CounterSet {
 	c.Set("vip_steers", h.VIPSteers)
 	c.Set("vip_announces_out", h.VIPAnnouncesOut)
 	c.Set("vip_announces_in", h.VIPAnnouncesIn)
+	c.Set("batch_flushes", h.BatchFlushes)
+	c.Set("batch_cap_flushes", h.BatchCapFlushes)
+	c.Set("batched_frames", h.BatchedFrames)
 	// Per-VNI breakdowns, sorted, only for networks with activity (the
 	// handles exist from segment creation even when never bumped).
 	var vnis []uint32

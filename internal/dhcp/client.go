@@ -168,7 +168,10 @@ func (c *Client) retryUntil(p *sim.Proc, send func(), ok func() bool) bool {
 		})
 		deadline.Reset(wait)
 		for !ok() && deadline.Active() {
-			p.Park()
+			if !p.Park() {
+				deadline.Stop()
+				return ok()
+			}
 		}
 		deadline.Stop()
 		if ok() {

@@ -256,7 +256,9 @@ func (nw *Network) Bootstrap(p *sim.Proc, stunServer netsim.Addr) int {
 		})
 	}
 	for remaining > 0 {
-		p.Park()
+		if !p.Park() {
+			break
+		}
 	}
 	// Phase 2: simultaneous hello exchange on every link.
 	for _, node := range nw.nodes {
@@ -272,7 +274,9 @@ func (nw *Network) Bootstrap(p *sim.Proc, stunServer netsim.Addr) int {
 				}
 			}
 		}
-		p.Sleep(200 * sim.Millisecond)
+		if !p.Sleep(200 * sim.Millisecond) {
+			break
+		}
 	}
 	failed := 0
 	for _, node := range nw.nodes {

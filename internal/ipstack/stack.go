@@ -264,6 +264,10 @@ func (s *Stack) onICMP(h *ipv4Header, payload []byte) {
 // deadline.
 var ErrTimeout = errors.New("ipstack: timeout")
 
+// ErrInterrupted is returned by blocking operations cut short by
+// Proc.Interrupt — a stop request, not a protocol timeout.
+var ErrInterrupted = errors.New("ipstack: interrupted")
+
 // Ping sends an ICMP echo request with payloadLen data bytes and blocks
 // the process until the reply or the timeout.
 func (s *Stack) Ping(p *sim.Proc, dst netsim.IP, payloadLen int, timeout sim.Duration) (sim.Duration, error) {
@@ -290,7 +294,13 @@ func (s *Stack) Ping(p *sim.Proc, dst netsim.IP, payloadLen int, timeout sim.Dur
 		if _, still := s.pingWait[key]; !still && !w.ok {
 			return 0, ErrTimeout
 		}
-		p.Park()
+		if !p.Park() {
+			// Interrupted (service Stop, engine teardown): abandon the
+			// wait instead of re-parking over the stop request.
+			delete(s.pingWait, key)
+			timer.Stop()
+			return 0, ErrInterrupted
+		}
 	}
 	timer.Stop()
 	return w.rtt, nil

@@ -89,9 +89,17 @@ func (u *UDPSock) RecvTimeout(p *sim.Proc, d sim.Duration) (Datagram, bool) {
 		return dg, true
 	}
 	deadline := p.Now().Add(d)
-	timer := sim.NewTimer(p.Engine(), func() { p.Interrupt() })
+	fired := false
+	timer := sim.NewTimer(p.Engine(), func() { fired = true; p.Interrupt() })
 	timer.Reset(d)
-	defer timer.Stop()
+	defer func() {
+		timer.Stop()
+		if fired {
+			// Our own deadline interrupt, not an external stop: consume
+			// it so later waits on this proc are unaffected.
+			p.ClearInterrupt()
+		}
+	}()
 	for len(u.queue) == 0 {
 		if !u.wq.Wait(p) {
 			return Datagram{}, false

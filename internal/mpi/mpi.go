@@ -139,7 +139,9 @@ func (w *World) Connect(p *sim.Proc) error {
 		}
 	}
 	for firstErr == nil && (remaining > 0 || dials > 0) {
-		p.Park()
+		if !p.Park() {
+			return errors.New("mpi: connect interrupted")
+		}
 	}
 	return firstErr
 }
@@ -340,7 +342,9 @@ func (w *World) Run(p *sim.Proc, fn func(rp *sim.Proc, r *Rank) error) error {
 		})
 	}
 	for live > 0 {
-		p.Park()
+		if !p.Park() {
+			return errors.New("mpi: wait interrupted")
+		}
 	}
 	return firstErr
 }

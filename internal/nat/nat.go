@@ -168,6 +168,7 @@ func (g *Gateway) handle(pkt *netsim.Packet) bool {
 			g.inbound(pkt)
 		} else {
 			g.FilteredDrops++
+			pkt.Release()
 		}
 		return true
 	case toSelf:
@@ -192,6 +193,7 @@ func (g *Gateway) outbound(pkt *netsim.Packet) {
 		ext := g.allocPort()
 		if ext == 0 {
 			g.NoMapDrops++
+			pkt.Release()
 			return
 		}
 		m = &mapping{
@@ -218,15 +220,18 @@ func (g *Gateway) inbound(pkt *netsim.Packet) {
 	m, ok := g.byExternal[pkt.Dst.Port]
 	if !ok {
 		g.NoMapDrops++
+		pkt.Release()
 		return
 	}
 	if g.expired(m) {
 		g.drop(m)
 		g.ExpiredDrops++
+		pkt.Release()
 		return
 	}
 	if !g.admit(m, pkt.Src) {
 		g.FilteredDrops++
+		pkt.Release()
 		return
 	}
 	if g.RefreshOnInbound {

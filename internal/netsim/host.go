@@ -132,6 +132,7 @@ func (h *Host) SendLan(dstLanIP IP, pkt *Packet) {
 	dst, ok := h.lan.byIP[dstLanIP]
 	if !ok {
 		h.net.NoRoute++
+		pkt.release()
 		return
 	}
 	h.SentPackets++
@@ -283,9 +284,17 @@ func (q *UDPQueue) RecvTimeout(p *sim.Proc, d sim.Duration) (Packet, bool) {
 		return pkt, true
 	}
 	deadline := p.Now().Add(d)
-	timer := sim.NewTimer(p.Engine(), func() { p.Interrupt() })
+	fired := false
+	timer := sim.NewTimer(p.Engine(), func() { fired = true; p.Interrupt() })
 	timer.Reset(d)
-	defer timer.Stop()
+	defer func() {
+		timer.Stop()
+		if fired {
+			// The interrupt was our own deadline, not an external stop
+			// request: consume it so it cannot leak into later waits.
+			p.ClearInterrupt()
+		}
+	}()
 	for len(q.queue) == 0 {
 		if !q.wq.Wait(p) {
 			return Packet{}, false

@@ -241,6 +241,7 @@ func (n *Network) route(from *Host, pkt *Packet) {
 			gw := from.lan.gw
 			if gw == nil {
 				n.NoRoute++
+				pkt.release()
 				return
 			}
 			n.lanTransit(from, gw, pkt)
@@ -252,6 +253,7 @@ func (n *Network) route(from *Host, pkt *Packet) {
 		return
 	}
 	n.NoRoute++
+	pkt.release()
 }
 
 // lanTransit carries a packet one hop across a LAN: serialize on the
@@ -260,9 +262,11 @@ func (n *Network) lanTransit(from, to *Host, pkt *Packet) {
 	if !from.lanUp.Send(pkt.Wire, func() {
 		if !to.lanDown.Send(pkt.Wire, func() { n.deliver(to, pkt) }) {
 			n.QueueDrops++
+			pkt.release()
 		}
 	}) {
 		n.QueueDrops++
+		pkt.release()
 	}
 }
 
@@ -272,16 +276,19 @@ func (n *Network) wanTransit(from *Host, pkt *Packet) {
 	dst, ok := n.byIP[pkt.Dst.IP]
 	if !ok {
 		n.NoRoute++
+		pkt.release()
 		return
 	}
 	if n.partitions[sitePair(from.site, dst.site)] {
 		n.PartitionDrops++
+		pkt.release()
 		return
 	}
 	if !from.up.Send(pkt.Wire, func() {
 		// Core propagation with optional jitter and loss.
 		if n.LossRate > 0 && n.eng.Rand().Float64() < n.LossRate {
 			n.LostWAN++
+			pkt.release()
 			return
 		}
 		lat := n.oneWay[from.site.Index][dst.site.Index]
@@ -292,10 +299,12 @@ func (n *Network) wanTransit(from *Host, pkt *Packet) {
 		n.eng.Schedule(lat, func() {
 			if !dst.down.Send(pkt.Wire, func() { n.deliver(dst, pkt) }) {
 				n.QueueDrops++
+				pkt.release()
 			}
 		})
 	}) {
 		n.QueueDrops++
+		pkt.release()
 	}
 }
 

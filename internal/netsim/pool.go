@@ -9,9 +9,11 @@ import "sync"
 // bounces, punch acks — not frames, which alias into bridges, and not
 // relay envelopes, which brokers forward onward), SendToPooled closes
 // the loop: the buffer is recycled automatically once the final
-// receiver's handler returns, or abandoned to the GC if the packet is
-// dropped in transit. NAT translation preserves the recycling tag
-// because gateways re-emit a copy of the whole Packet struct.
+// receiver's handler returns, or released at the drop site when the
+// packet dies in transit (no-route, partition, queue overflow, WAN
+// loss, NAT refusal). NAT translation preserves the recycling tag
+// because gateways re-emit a copy of the whole Packet struct, and the
+// drop sites release exactly once because release clears the tag.
 
 // PooledBufCap is the capacity of pooled payload buffers.
 const PooledBufCap = 256
@@ -47,6 +49,11 @@ func (s *UDPSocket) SendToPooled(dst Addr, buf *[]byte) {
 	}
 	s.host.SendRaw(pkt)
 }
+
+// Release recycles the packet's pooled buffer, if it carries one.
+// Consumers outside netsim (NAT gateways) call it when they terminate a
+// packet instead of re-emitting it; releasing twice is harmless.
+func (pkt *Packet) Release() { pkt.release() }
 
 // release recycles the packet's pooled buffer, if it carries one.
 func (pkt *Packet) release() {

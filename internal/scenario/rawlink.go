@@ -83,7 +83,9 @@ func (l *rawLink) punch(p *sim.Proc, stunServer netsim.Addr, peerMapped *netsim.
 	// Publish and wait for the peer's mapping.
 	*peerMapped = l.mapped
 	for l.peer.IsZero() && !l.up {
-		p.Sleep(50 * sim.Millisecond)
+		if !p.Sleep(50 * sim.Millisecond) {
+			return false
+		}
 	}
 	// Simultaneous hello exchange.
 	for try := 0; try < 40 && !l.up; try++ {

@@ -193,11 +193,11 @@ func (s *Service) Start() {
 			s.anchor.AnnounceVIPRecord(s.record(b))
 		}
 	}
-	// The running check matters: a probe parked inside Ping swallows the
-	// Interrupt (Ping re-parks until its own timer fires), so Stop's
-	// signal can be lost — the flag, not the interrupt, ends the loop.
+	// Stop's Interrupt is sticky: even a probe parked deep inside Ping
+	// returns promptly, and the Sleep here observes the pending flag
+	// without waiting out another interval.
 	s.proc = s.eng.Spawn("service/"+s.cfg.Net+"/"+s.cfg.Name, func(p *sim.Proc) {
-		for s.running && p.Sleep(s.cfg.Interval) {
+		for p.Sleep(s.cfg.Interval) {
 			s.probeRound(p)
 		}
 	})
@@ -227,6 +227,10 @@ func (s *Service) Stop() {
 
 // Running reports whether Start has been called (and Stop has not).
 func (s *Service) Running() bool { return s.running }
+
+// ProbeDead reports whether the probe loop has fully exited (true also
+// before Start); teardown tests pin the loop's prompt exit on it.
+func (s *Service) ProbeDead() bool { return s.proc == nil || s.proc.Dead() }
 
 // Healthy reports a backend's current health (false for unknown names).
 func (s *Service) Healthy(backend string) bool {
@@ -341,7 +345,7 @@ func (s *Service) probeRound(p *sim.Proc) {
 		if b.Stack != s.prober {
 			_, err = s.prober.Ping(p, b.IP, 32, s.cfg.Timeout)
 		}
-		if !s.running {
+		if p.Interrupted() {
 			return // stopped while parked in a probe
 		}
 		if err != nil {

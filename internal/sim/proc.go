@@ -26,6 +26,13 @@ type Proc struct {
 	// wake event for Sleep, so Interrupt can cancel it.
 	sleepEv *Event
 
+	// interrupted is the sticky interrupt flag: set by Interrupt, it
+	// makes every Park/Sleep return false — without blocking — until
+	// the process acknowledges it with ClearInterrupt (or dies). The
+	// stickiness is what lets an interrupt cross nested wait loops: a
+	// park buried three calls deep returns false, and so does every
+	// park above it as the stack unwinds, so no loop can accidentally
+	// swallow a stop request by re-parking.
 	interrupted bool
 }
 
@@ -116,32 +123,40 @@ func (p *Proc) Name() string { return p.name }
 func (p *Proc) Now() Time { return p.eng.Now() }
 
 // Sleep suspends the process for virtual duration d. It returns true if
-// the sleep completed, false if Interrupt woke it early.
+// the sleep completed, false if an interrupt is pending — in which case
+// the sleep is skipped entirely (a pending interrupt means the process
+// has been asked to wind down; sleeping on would just delay it).
 func (p *Proc) Sleep(d Duration) bool {
 	p.checkContext("Sleep")
+	if p.interrupted {
+		return false
+	}
 	p.sleepEv = p.eng.Schedule(d, func() {
 		p.sleepEv = nil
 		p.activate(sigRun)
 	})
-	sig := p.park()
-	if sig == sigInterrupt {
+	p.park()
+	if p.interrupted {
 		if p.sleepEv != nil {
 			p.eng.Cancel(p.sleepEv)
 			p.sleepEv = nil
 		}
-		p.interrupted = false
 		return false
 	}
 	return true
 }
 
 // Park suspends the process until another event calls Unpark (or the
-// engine stops). Returns true on a normal Unpark, false if Interrupt was
-// used.
+// engine stops). Returns true on a normal Unpark, false if an interrupt
+// is pending (in which case a park with the flag already set returns
+// immediately). The interrupt stays pending — see Interrupt.
 func (p *Proc) Park() bool {
 	p.checkContext("Park")
-	sig := p.park()
-	return sig == sigRun
+	if p.interrupted {
+		return false
+	}
+	p.park()
+	return !p.interrupted
 }
 
 // Unpark schedules the process to resume at the current virtual time.
@@ -159,18 +174,41 @@ func (p *Proc) Unpark() {
 	})
 }
 
-// Interrupt wakes a parked or sleeping process with an interrupt signal:
-// Sleep/Park return false. No-op if the process is not parked.
+// Interrupt asks the process to wind down: the sticky interrupted flag
+// is set immediately, every subsequent Park/Sleep returns false without
+// blocking, and a currently parked process is woken at the current
+// virtual time. The flag persists until the process calls ClearInterrupt
+// (for interrupts it originated itself, e.g. its own receive deadline)
+// or exits — so an interrupt delivered while the process is parked deep
+// inside a helper still reaches the outermost loop.
 func (p *Proc) Interrupt() {
-	if p.dead || !p.parked {
+	if p.dead {
 		return
 	}
+	p.interrupted = true
+	if !p.parked {
+		return // the flag is observed at the next Park/Sleep
+	}
 	p.eng.Schedule(0, func() {
-		if !p.dead && p.parked {
+		// Re-check the flag: if the process consumed the interrupt
+		// (ClearInterrupt) after being woken by its real signal, this
+		// stale wake-up must not interrupt an unrelated later park.
+		if !p.dead && p.parked && p.interrupted {
 			p.activate(sigInterrupt)
 		}
 	})
 }
+
+// Interrupted reports whether an interrupt is pending on the process.
+// Long-running loop bodies use it as a cheap cancellation check between
+// blocking calls.
+func (p *Proc) Interrupted() bool { return p.interrupted }
+
+// ClearInterrupt consumes a pending interrupt. Only the code that knows
+// the interrupt's origin should clear it — typically a deadline helper
+// that used Interrupt on its own process to bound a wait and must not
+// let its private wake-up look like an external stop request.
+func (p *Proc) ClearInterrupt() { p.interrupted = false }
 
 // Dead reports whether the process has finished.
 func (p *Proc) Dead() bool { return p.dead }

@@ -106,6 +106,10 @@ type Engine struct {
 	// live procs, for shutdown.
 	procs map[*Proc]struct{}
 
+	// flushers run once after the last event of the current virtual
+	// timestamp, before the clock advances (see AtTimeEnd).
+	flushers []func()
+
 	dispatched uint64
 }
 
@@ -180,9 +184,42 @@ func (e *Engine) Step() bool {
 		}
 		e.dispatched++
 		ev.fn()
+		if len(e.flushers) > 0 {
+			e.runTimeEndFlushers()
+		}
 		return true
 	}
 	return false
+}
+
+// AtTimeEnd registers fn to run once after the last already-queued event
+// of the current virtual timestamp has executed, before the clock
+// advances. It is the hook the tunnel egress batcher uses to coalesce
+// every frame emitted "during this instant" into one wire packet per
+// destination. Flushers run in registration order (deterministic) and
+// may schedule new events — including events at the current timestamp,
+// which then run after the flush. The registration is one-shot.
+func (e *Engine) AtTimeEnd(fn func()) {
+	e.flushers = append(e.flushers, fn)
+}
+
+// runTimeEndFlushers runs the pending AtTimeEnd hooks if no runnable
+// event remains at the current timestamp.
+func (e *Engine) runTimeEndFlushers() {
+	// Drop cancelled heads so a dead same-instant event cannot defer
+	// the flush past the timestamp boundary.
+	for len(e.queue) > 0 && e.queue[0].cancelled {
+		heap.Pop(&e.queue)
+	}
+	if len(e.queue) > 0 && e.queue[0].at <= e.now {
+		return // more events still due at this instant
+	}
+	for i := 0; i < len(e.flushers); i++ {
+		fn := e.flushers[i]
+		e.flushers[i] = nil
+		fn()
+	}
+	e.flushers = e.flushers[:0]
 }
 
 // Run executes events until the queue is empty or Stop is called.

@@ -201,12 +201,22 @@ func (c *client) test(dst netsim.Addr, change uint8) (*Message, bool) {
 			if remain <= 0 {
 				break
 			}
-			timer := sim.NewTimer(c.p.Engine(), func() { c.p.Interrupt() })
+			fired := false
+			timer := sim.NewTimer(c.p.Engine(), func() { fired = true; c.p.Interrupt() })
 			timer.Reset(remain)
 			woke := c.wq.Wait(c.p)
 			timer.Stop()
-			if !woke && c.p.Now() >= deadline {
-				break
+			if fired {
+				// Our own deadline interrupt: consume it.
+				c.p.ClearInterrupt()
+			}
+			if !woke {
+				if !fired {
+					// External interrupt: abandon the whole test so the
+					// stop request propagates to the caller promptly.
+					return nil, false
+				}
+				break // retransmit on the next attempt
 			}
 		}
 	}

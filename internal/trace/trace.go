@@ -130,6 +130,7 @@ const (
 	paFrameVNI    = 0x17 // VNI-tagged frame: [0x17][vni:4][frame]
 	paVNISet      = 0x18 // VNI membership announcement: [0x18][n:2][vni:4]*n
 	paVIPAnnounce = 0x19 // VIP health: [0x19][flags:1][vni:4][vip:4][mac:6][nameLen:1][name]
+	paFrameBatch  = 0x1A // aggregated egress batch: [0x1A]([len:2][frame image])*
 )
 
 // summarizeWAVNet decodes the tunnel encapsulations of the WAVNet data
@@ -151,6 +152,23 @@ func summarizeWAVNet(b []byte) (string, bool) {
 			return "WAVNet frame: " + summarize(f), true
 		}
 		return fmt.Sprintf("WAVNet VNI %d frame: %s", vni, summarize(f)), true
+	case paFrameBatch:
+		var inner []string
+		off := 1
+		for off+2 <= len(b) {
+			n := int(b[off])<<8 | int(b[off+1])
+			off += 2
+			if n == 0 || off+n > len(b) {
+				return fmt.Sprintf("WAVNet batch malformed at +%d (%d bytes)", off, len(b)), true
+			}
+			s, ok := summarizeWAVNet(b[off : off+n])
+			if !ok {
+				s = fmt.Sprintf("unknown entry (%d bytes)", n)
+			}
+			inner = append(inner, s)
+			off += n
+		}
+		return fmt.Sprintf("WAVNet batch x%d {%s}", len(inner), strings.Join(inner, "; ")), true
 	case paVNISet:
 		if len(b) < 3 {
 			return fmt.Sprintf("WAVNet VNI-set malformed (%d bytes)", len(b)), true

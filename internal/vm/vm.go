@@ -367,7 +367,9 @@ func (v *VM) Migrate(p *sim.Proc, dst HostPort) (*MigrationReport, error) {
 		// Wait for the receiver to consume the round.
 		roundDone = false
 		for !roundDone && recvErr == nil && stallErr == nil {
-			p.Park()
+			if !p.Park() {
+				return errors.New("vm: migration interrupted")
+			}
 		}
 		if stallErr != nil {
 			return stallErr

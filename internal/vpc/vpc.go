@@ -146,8 +146,7 @@ type Network struct {
 	reserved map[netsim.IP]bool
 
 	// repair is the mesh-repair loop (see startMeshRepair).
-	repair    *sim.Proc
-	repairing bool
+	repair *sim.Proc
 }
 
 // Member is one host's membership in a network.
@@ -410,14 +409,14 @@ const meshRepairInterval = 10 * sim.Second
 // current home brokers, best effort: a still-dark peer just fails and
 // is retried next round.
 func (n *Network) startMeshRepair(eng *sim.Engine) {
-	if n.repairing {
+	if n.repair != nil && !n.repair.Dead() {
 		return
 	}
-	n.repairing = true
-	// Gate on the flag, not the interrupt: ConnectTo parks the proc in
-	// its own wait loops, which can swallow a stop signal.
+	// The loop runs until interrupted: the sticky interrupt propagates
+	// out of ConnectTo's wait loops, so Sleep observes it no matter
+	// where the stop request landed.
 	n.repair = eng.Spawn("vpc/"+n.Name+"/mesh-repair", func(p *sim.Proc) {
-		for n.repairing && p.Sleep(meshRepairInterval) {
+		for p.Sleep(meshRepairInterval) {
 			n.repairMesh(p)
 		}
 	})
@@ -429,8 +428,8 @@ func (n *Network) repairMesh(p *sim.Proc) {
 	order := append([]string(nil), n.order...)
 	for i, a := range order {
 		for _, b := range order[i+1:] {
-			if !n.repairing {
-				return
+			if p.Interrupted() {
+				return // stopped mid-round
 			}
 			ma, oka := n.members[a]
 			mb, okb := n.members[b]
@@ -447,13 +446,16 @@ func (n *Network) repairMesh(p *sim.Proc) {
 
 // stopMeshRepair ends the repair loop (idempotent).
 func (n *Network) stopMeshRepair() {
-	if !n.repairing {
-		return
-	}
-	n.repairing = false
 	if n.repair != nil && !n.repair.Dead() {
 		n.repair.Interrupt()
 	}
+	n.repair = nil
+}
+
+// MeshRepairAlive reports whether the network's repair loop is running;
+// teardown tests pin the loop's prompt exit on it.
+func (n *Network) MeshRepairAlive() bool {
+	return n.repair != nil && !n.repair.Dead()
 }
 
 // Admit brings a WAVNet host into a network end-to-end: VPC join
