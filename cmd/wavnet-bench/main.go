@@ -7,10 +7,18 @@
 //	wavnet-bench [-seed N] [-paper] table2 figure6 ...
 //	wavnet-bench all
 //	wavnet-bench -trajectory [-pr N] [-out FILE] [-baseline FILE]
+//	wavnet-bench [-scrape FILE] [-flows FILE] [-alerts FILE] vpc service ...
 //
 // Quick mode (default) shrinks durations and transfer sizes while
 // preserving each experiment's shape; -paper uses the publication
 // parameters where tractable.
+//
+// The dump flags capture observability state from the same worlds the
+// experiments measured: -scrape writes each world's final metrics
+// registry (JSON when FILE ends in .json, text otherwise), -flows
+// writes the flow scrape, flow log and per-network top talkers, and
+// -alerts writes the alert-rule table with firing/fired/resolved
+// lifecycle counts.
 //
 // -trajectory runs the pinned macro-benchmark suite and writes one
 // BENCH_<pr>.json point ({pr, bench, metric, value, unit} rows). The
@@ -34,9 +42,12 @@ func main() {
 	paper := flag.Bool("paper", false, "use paper-scale parameters (slow)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	trajectory := flag.Bool("trajectory", false, "run the pinned macro-benchmark suite and write BENCH_<pr>.json")
-	pr := flag.Int("pr", 7, "trajectory point number stamped into every row")
+	pr := flag.Int("pr", 10, "trajectory point number stamped into every row")
 	out := flag.String("out", "", "trajectory output file (default BENCH_<pr>.json)")
 	baseline := flag.String("baseline", "", "previous trajectory point to compare against (exit 1 on >10% regression)")
+	scrapeOut := flag.String("scrape", "", "dump each world's final metrics registry to FILE (.json for JSON)")
+	flowsOut := flag.String("flows", "", "dump flow scrape, flow log and top talkers to FILE")
+	alertsOut := flag.String("alerts", "", "dump the alert-rule table and lifecycle state to FILE")
 	flag.Parse()
 
 	if *trajectory {
@@ -67,10 +78,12 @@ func main() {
 		}
 	}
 	opts := experiments.Options{Seed: *seed, Quick: !*paper}
+	dump := newObsDump(*scrapeOut, *flowsOut, *alertsOut)
 	failed := 0
 	for _, r := range runners {
 		fmt.Printf("=== %s: %s\n", r.ID, r.Title)
 		start := time.Now()
+		opts.Observer = dump.observer(r.ID)
 		res, err := r.Run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.ID, err)
@@ -79,6 +92,10 @@ func main() {
 		}
 		fmt.Println(res.String())
 		fmt.Printf("(%s wall time)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if err := dump.flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "dump: %v\n", err)
+		failed++
 	}
 	if failed > 0 {
 		os.Exit(1)

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"wavnet/internal/obs"
+	"wavnet/internal/scenario"
+)
+
+// obsDump accumulates observability dumps from the worlds the
+// experiment drivers measured — the final metrics scrape, the flow
+// telemetry, and the alert-rule state — and writes each requested
+// file when the run ends. A driver that sweeps several points hands
+// the dump several worlds; each shows up as its own numbered section.
+type obsDump struct {
+	scrapePath, flowsPath, alertsPath string
+
+	scrapeRows []scrapeRow
+	scrapeText strings.Builder
+	flowsText  strings.Builder
+	alertsText strings.Builder
+	runs       map[string]int
+}
+
+// scrapeRow is one world's registry in the JSON dump shape.
+type scrapeRow struct {
+	Experiment string        `json:"experiment"`
+	Run        int           `json:"run"`
+	Series     *obs.Registry `json:"series"`
+}
+
+func newObsDump(scrapePath, flowsPath, alertsPath string) *obsDump {
+	return &obsDump{
+		scrapePath: scrapePath,
+		flowsPath:  flowsPath,
+		alertsPath: alertsPath,
+		runs:       make(map[string]int),
+	}
+}
+
+// active reports whether any dump file was requested.
+func (d *obsDump) active() bool {
+	return d.scrapePath != "" || d.flowsPath != "" || d.alertsPath != ""
+}
+
+// observer returns the Options.Observer for one experiment, or nil
+// when no dump was requested (experiments then skip the extra scrape).
+func (d *obsDump) observer(id string) func(*scenario.World) {
+	if !d.active() {
+		return nil
+	}
+	return func(w *scenario.World) {
+		d.runs[id]++
+		run := d.runs[id]
+		if d.scrapePath != "" {
+			d.dumpScrape(id, run, w)
+		}
+		if d.flowsPath != "" {
+			d.dumpFlows(id, run, w)
+		}
+		if d.alertsPath != "" {
+			d.dumpAlerts(id, run, w)
+		}
+	}
+}
+
+func section(b *strings.Builder, id string, run int) {
+	fmt.Fprintf(b, "=== %s run %d\n", id, run)
+}
+
+func (d *obsDump) dumpScrape(id string, run int, w *scenario.World) {
+	r := w.Scrape()
+	if strings.HasSuffix(d.scrapePath, ".json") {
+		d.scrapeRows = append(d.scrapeRows, scrapeRow{Experiment: id, Run: run, Series: r})
+		return
+	}
+	section(&d.scrapeText, id, run)
+	d.scrapeText.WriteString(r.String())
+	d.scrapeText.WriteByte('\n')
+}
+
+// flowLogDumpLimit bounds the per-world flow-log section: the log
+// itself is a ring, but dumping thousands of lines per sweep point
+// helps nobody.
+const flowLogDumpLimit = 200
+
+func (d *obsDump) dumpFlows(id string, run int, w *scenario.World) {
+	b := &d.flowsText
+	section(b, id, run)
+	b.WriteString("-- flow scrape\n")
+	b.WriteString(w.FlowScrape().String())
+	recs := w.FlowLog.Records()
+	fmt.Fprintf(b, "-- flow log (%d retained, %d total)\n", len(recs), w.FlowLog.Total())
+	if len(recs) > flowLogDumpLimit {
+		fmt.Fprintf(b, "   (newest %d shown)\n", flowLogDumpLimit)
+		recs = recs[len(recs)-flowLogDumpLimit:]
+	}
+	for i := range recs {
+		fmt.Fprintf(b, "%s\n", recs[i].String())
+	}
+	nets := []string{""}
+	for _, n := range w.VPC().Networks() {
+		nets = append(nets, n.Name)
+	}
+	for _, net := range nets {
+		talkers := w.TopTalkers(net, 10)
+		if len(talkers) == 0 {
+			continue
+		}
+		name := net
+		if name == "" {
+			name = "(default LAN)"
+		}
+		fmt.Fprintf(b, "-- top talkers %s\n", name)
+		for _, t := range talkers {
+			fmt.Fprintf(b, "%12d  %s\n", t.Bytes, t.Key)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+func (d *obsDump) dumpAlerts(id string, run int, w *scenario.World) {
+	b := &d.alertsText
+	section(b, id, run)
+	fmt.Fprintf(b, "%-24s %-28s %10s %8s %7s %10s %6s %9s\n",
+		"rule", "metric", "threshold", "for", "firing", "value", "fired", "resolved")
+	for _, rule := range w.Alerts.Rules() {
+		firing := "no"
+		if w.Alerts.IsFiring(rule.Name) {
+			firing = "YES"
+		}
+		fmt.Fprintf(b, "%-24s %-28s %10.4g %8s %7s %10.4g %6d %9d\n",
+			rule.Name, rule.Metric, rule.Threshold, rule.For,
+			firing, w.Alerts.Value(rule.Name),
+			w.Alerts.Fired(rule.Name), w.Alerts.Resolved(rule.Name))
+	}
+	b.WriteByte('\n')
+}
+
+// flush writes every requested file.
+func (d *obsDump) flush() error {
+	if d.scrapePath != "" {
+		var data []byte
+		if strings.HasSuffix(d.scrapePath, ".json") {
+			var err error
+			if data, err = json.MarshalIndent(d.scrapeRows, "", "  "); err != nil {
+				return fmt.Errorf("marshal scrape: %w", err)
+			}
+		} else {
+			data = []byte(d.scrapeText.String())
+		}
+		if err := os.WriteFile(d.scrapePath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", d.scrapePath)
+	}
+	if d.flowsPath != "" {
+		if err := os.WriteFile(d.flowsPath, []byte(d.flowsText.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", d.flowsPath)
+	}
+	if d.alertsPath != "" {
+		if err := os.WriteFile(d.alertsPath, []byte(d.alertsText.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", d.alertsPath)
+	}
+	return nil
+}

@@ -80,6 +80,53 @@ func BenchmarkEncapRelayWrap(b *testing.B) {
 // round trip. Pinned at 0 allocs/op by the alloc-budget CI job; the
 // live path's only residual is the flush-time buffer whose ownership
 // transfers to the network (amortized over the whole batch).
+// BenchmarkForwardingFlowAccounted times the PR 10 hot path: the
+// forwarding round trip of BenchmarkForwardingVNITagged plus inline
+// flow accounting on both sides — key extraction from the decoded
+// frame and one atomic table update each for tx and rx. Pinned at
+// 0 allocs/op by the alloc-budget CI job: telemetry must not cost the
+// data plane an allocation.
+func BenchmarkForwardingFlowAccounted(b *testing.B) {
+	eng := sim.NewEngine(1)
+	table := ether.NewVNITable[int](eng, 0)
+	ft := NewFlowTable(1024)
+	const vni = 42
+	f := &ether.Frame{
+		Dst:     ether.SeqMAC(1),
+		Src:     ether.SeqMAC(2),
+		Type:    ether.TypeIPv4,
+		Payload: make([]byte, 1400),
+	}
+	// Real IPv4 header fields so the key parse does its full work.
+	f.Payload[9] = 17
+	binary.BigEndian.PutUint32(f.Payload[12:], 0x0a000001)
+	binary.BigEndian.PutUint32(f.Payload[16:], 0x0a000002)
+	table.Learn(vni, f.Dst, 7)
+	wire := make([]byte, 0, VNIEncapLen(vni)+f.WireLen())
+	var got ether.Frame
+	var k FlowKey
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flowKeyOf(&k, vni, f)
+		ft.Add(&k, sim.Time(i), uint64(VNIEncapLen(vni)+f.WireLen()))
+		wire = AppendVNIFrame(wire[:0], vni, f)
+		gotVNI, err := UnmarshalVNIFrameInto(&got, wire)
+		if err != nil {
+			b.Fatal(err)
+		}
+		flowKeyOf(&k, gotVNI, &got)
+		ft.Add(&k, sim.Time(i), uint64(len(wire)))
+		table.Learn(gotVNI, got.Src, 7)
+		if _, ok := table.Lookup(gotVNI, got.Dst); !ok {
+			b.Fatal("lookup miss")
+		}
+	}
+	if ft.Active() == 0 {
+		b.Fatal("no flow accounted")
+	}
+}
+
 func BenchmarkForwardingBatched(b *testing.B) {
 	eng := sim.NewEngine(1)
 	table := ether.NewVNITable[int](eng, 0)

@@ -6,6 +6,7 @@ import (
 
 	"wavnet/internal/ether"
 	"wavnet/internal/netsim"
+	"wavnet/internal/obs"
 	"wavnet/internal/rendezvous"
 	"wavnet/internal/sim"
 	"wavnet/internal/stun"
@@ -397,11 +398,16 @@ func (h *Host) onTapFrame(seg *segment, f *ether.Frame) {
 // crossing several relayed tunnels on different channels never copies.
 func (h *Host) switchFrame(seg *segment, f *ether.Frame) {
 	wireLen := VNIEncapLen(seg.vni) + f.WireLen()
+	// Flow accounting: one tx sample per frame offered to the switch
+	// (not per flood fan-out); the extracted key stays valid for the
+	// quota-drop charges below because send runs inline.
+	fk := h.flowTx(seg.vni, f, wireLen)
 	send := func(t *Tunnel) {
 		// Per-tenant metering: a tenant over its quota drops here, at
 		// the sender, per frame and before enqueue — batching never
 		// changes which frames the bucket admits.
 		if !h.quotaAdmit(t, seg.vni, wireLen) {
+			h.flows.Drop(fk, h.eng.Now(), obs.FlowDropQuota)
 			return
 		}
 		t.FramesOut++
@@ -481,8 +487,10 @@ func (h *Host) onTunnelFrame(t *Tunnel, payload []byte) {
 			return
 		}
 		h.CrossVNIDrops++
+		h.flowDrop(vni, f, obs.FlowDropCrossVNI)
 		return
 	}
+	h.flowRx(vni, f, len(payload))
 	h.wswitch.Learn(vni, f.Src, t)
 	if h.cfg.PacketCost > 0 {
 		h.eng.Schedule(h.cfg.PacketCost, func() { seg.tap.Send(f) })

@@ -106,6 +106,17 @@ type Config struct {
 	// flows (tunnel establishment, broker re-home elections); nil
 	// disables tracing.
 	Tracer *obs.Trace
+
+	// FlowSlots sizes the preallocated flow accounting table (flow.go),
+	// rounded up to a power of two (default 1024). FlowSweepPeriod and
+	// FlowIdle drive the off-path eviction sweep: a flow with no
+	// activity for FlowIdle is closed and emitted to FlowLog on the next
+	// sweep tick. FlowLog is the shared flow-log sink (nil discards
+	// closed-flow records; live flows stay scrapeable either way).
+	FlowSlots       int
+	FlowSweepPeriod sim.Duration
+	FlowIdle        sim.Duration
+	FlowLog         *obs.FlowLog
 }
 
 func (c Config) withDefaults() Config {
@@ -144,6 +155,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BatchMaxFrames <= 0 {
 		c.BatchMaxFrames = 32
+	}
+	if c.FlowSlots <= 0 {
+		c.FlowSlots = defaultFlowSlots
+	}
+	if c.FlowSweepPeriod <= 0 {
+		c.FlowSweepPeriod = 10 * sim.Second
+	}
+	if c.FlowIdle <= 0 {
+		c.FlowIdle = 30 * sim.Second
 	}
 	return c
 }
@@ -357,6 +377,16 @@ type Host struct {
 	BatchCapFlushes uint64
 	BatchedFrames   uint64
 	batchSizes      *obs.Histogram
+
+	// Flow accounting (flow.go): the fixed-size table the encap/decap/
+	// drop sites charge inline, a reused key scratch (single writer: the
+	// sim event loop), a reused decode frame for wire-drop attribution,
+	// and the self-arming eviction sweep's state.
+	flows       *FlowTable
+	flowScratch FlowKey
+	dropScratch ether.Frame
+	flowSweepOn bool
+	flowSweepFn func()
 }
 
 // NewHost creates a WAVNet host on a physical machine. The bridge, tap
@@ -384,6 +414,8 @@ func NewHost(phys *netsim.Host, name string, cfg Config) (*Host, error) {
 		batchSizes:  obs.NewHistogram(),
 	}
 	h.flushFn = h.flushEgress
+	h.flows = NewFlowTable(cfg.FlowSlots)
+	h.flowSweepFn = h.flowSweep
 	sock, err := phys.BindUDP(cfg.Port, h.onPacket)
 	if err != nil {
 		return nil, err
@@ -1120,5 +1152,6 @@ func (h *Host) Leave() {
 		h.rdvTick.Stop()
 		h.rdvTick = nil
 	}
+	h.DrainFlows()
 	h.joined = false
 }

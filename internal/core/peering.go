@@ -8,6 +8,7 @@ import (
 	"wavnet/internal/ether"
 	"wavnet/internal/metrics"
 	"wavnet/internal/netsim"
+	"wavnet/internal/obs"
 )
 
 // VPC peering: a policy-checked inter-VNI gateway on the WAV-Switch
@@ -221,6 +222,12 @@ func (h *Host) VPCCounters() *metrics.CounterSet {
 	c.Set("batch_flushes", h.BatchFlushes)
 	c.Set("batch_cap_flushes", h.BatchCapFlushes)
 	c.Set("batched_frames", h.BatchedFrames)
+	c.Set("flows_active", uint64(h.flows.Active()))
+	c.Set("flow_evictions", h.flows.Evictions())
+	c.Set("flow_overflows", h.flows.Overflows())
+	for reason, n := range h.flows.DropTotals() {
+		c.Set("flow_drops."+obs.FlowDropReason(reason).String(), n)
+	}
 	// Per-VNI breakdowns, sorted, only for networks with activity (the
 	// handles exist from segment creation even when never bumped).
 	var vnis []uint32

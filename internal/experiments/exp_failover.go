@@ -194,6 +194,7 @@ func FailoverOnce(o Options, brokers int, killAt sim.Duration) (*FailoverRow, er
 
 	// The fault: kill broker 0 at the configured offset; watch every
 	// affected host for its session appearing on a survivor.
+	w.Scrape() // alert rate baseline before the fault
 	fi := w.Inject(scenario.KillBrokerAt(killAt, names[0]))
 	killTime := w.Eng.Now().Add(killAt)
 	affected := make([]string, 0, hostsPer)
@@ -220,8 +221,14 @@ func FailoverOnce(o Options, brokers int, killAt sim.Duration) (*FailoverRow, er
 	budget := killAt + row.TTL + 30*sim.Second
 	for spent := sim.Duration(0); len(rehomedAt) < len(affected) && spent < budget; spent += sim.Second {
 		w.Eng.RunFor(sim.Second)
+		// The scrape cadence drives the alert engine: the window holding
+		// the re-home wave rates rehomes > 0 and fires broker-rehome.
+		w.Scrape()
 	}
 	probe.Stop()
+	if w.Alerts.Fired("broker-rehome") == 0 {
+		return nil, fmt.Errorf("broker-rehome alert never fired across the re-home wave")
+	}
 	if fails := fi.Failures(); len(fails) != 0 {
 		return nil, fmt.Errorf("fault schedule: %v", fails)
 	}
@@ -252,7 +259,17 @@ func FailoverOnce(o Options, brokers int, killAt sim.Duration) (*FailoverRow, er
 	row.Cleanup = cleanup.Get("replica_adopted") +
 		cleanup.Get("replica_dead_broker") + cleanup.Get("replica_expired")
 	row.Stray = witness.RecordsFor("fonet")
-	if err := w.ScrapeCheck(); err != nil {
+	// One quiet window after the wave: the rehome rate falls back to
+	// zero and the alert must resolve, closing its span.
+	w.Eng.RunFor(sim.Second)
+	w.Scrape()
+	if w.Alerts.IsFiring("broker-rehome") {
+		return nil, fmt.Errorf("broker-rehome alert still firing after the wave settled")
+	}
+	if w.Alerts.Resolved("broker-rehome") == 0 {
+		return nil, fmt.Errorf("broker-rehome alert never resolved")
+	}
+	if err := o.finish(w); err != nil {
 		return nil, err
 	}
 	return row, nil

@@ -281,7 +281,7 @@ func FederationOnce(o Options, brokers int, lag sim.Duration) (*FederationRow, e
 	}
 	row.Replications = totals.Get("replications_out")
 	row.Stray = witness.RecordsFor("fednet")
-	if err := w.ScrapeCheck(); err != nil {
+	if err := o.finish(w); err != nil {
 		return nil, err
 	}
 	return row, nil

@@ -145,7 +145,7 @@ func peeringOnce(o Options, name string, peerings []vpc.PeeringSpec) (*PeeringRo
 	}
 	row.Forwards = counters.Get("peered_forwards")
 	row.PolicyDrops = counters.Get("peer_policy_drops")
-	if err := w.ScrapeCheck(); err != nil {
+	if err := o.finish(w); err != nil {
 		return nil, err
 	}
 	return row, nil
@@ -215,7 +215,7 @@ func quotaOnce(o Options, quotaBps float64) (*QuotaRow, error) {
 		counters.Merge(m.Host.VPCCounters())
 	}
 	row.QuotaDrops = counters.Get("quota_drops")
-	if err := w.ScrapeCheck(); err != nil {
+	if err := o.finish(w); err != nil {
 		return nil, err
 	}
 	return row, nil

@@ -221,7 +221,7 @@ func PlacementOnce(o Options, brokers, memMB int, spread string) (*PlacementRow,
 
 	row.PostOK, row.PostN = pingSweep("post")
 	row.Stray = witness.RecordsFor("pnet")
-	if err := w.ScrapeCheck(); err != nil {
+	if err := o.finish(w); err != nil {
 		return nil, err
 	}
 	return row, nil

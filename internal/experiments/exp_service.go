@@ -197,6 +197,7 @@ func ServiceOnce(o Options, backends, fall, brokers int) (*ServiceRow, error) {
 		}
 	})
 	w.Eng.RunFor(5 * sim.Second) // settle: tunnels, steering, first probes
+	w.Scrape()                   // rate baseline for the withdrawal alert
 
 	// Isolate the active backend (pc01, the first declared rank) from
 	// every machine and broker: a partial cut would let the fabric's
@@ -240,7 +241,26 @@ func ServiceOnce(o Options, backends, fall, brokers int) (*ServiceRow, error) {
 	row.Withdrawals = c.Get("withdrawals")
 	row.Failovers = c.Get("failovers")
 	row.Stray = witness.VIPRecordsFor("snet")
-	if err := w.ScrapeCheck(); err != nil {
+	// Flow telemetry: the client's accounting must carry the ICMP flow
+	// into the VIP itself (steering happens under the VIP's address, so
+	// the client-side key keeps it).
+	flowSeen := false
+	for _, st := range client.Host.Flows().Snapshot() {
+		if st.Key.Proto == 1 && st.Key.DstIP == vip && st.Frames > 0 {
+			flowSeen = true
+		}
+	}
+	if !flowSeen {
+		return nil, fmt.Errorf("client flow table lacks the ICMP flow to VIP %s", vip)
+	}
+	// And the withdrawal surfaced as an alert: this scrape rates the
+	// service withdrawal counter against the settle-time baseline.
+	w.Scrape()
+	if w.Alerts.Fired("vip-backend-withdrawn") == 0 {
+		return nil, fmt.Errorf("vip-backend-withdrawn alert never fired (withdrawals=%d)",
+			row.Withdrawals)
+	}
+	if err := o.finish(w); err != nil {
 		return nil, err
 	}
 	return row, nil

@@ -179,7 +179,7 @@ func MigrationOnce(o Options, memMB int, dirtyRate float64, fault string) (*Migr
 	})
 	w.Eng.RunFor(20 * time.Second)
 	row.PingAfter = pinged && pingErr == nil
-	if err := w.ScrapeCheck(); err != nil {
+	if err := o.finish(w); err != nil {
 		return nil, err
 	}
 	return row, nil

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"wavnet/internal/ether"
@@ -230,8 +231,23 @@ func vpcOnce(o Options, tenants, hostsPer int) (*VPCRow, error) {
 			return nil, lookErr
 		}
 		row.LookupLeaks = leaks
+
+		// Flow telemetry must surface the deliberately hot flow: the
+		// attacker's ARP flood for the unowned 10.0.0.200 ranks among the
+		// attacker tenant's top talkers.
+		target := (attacker.Net.CIDR.Base + 200).String()
+		hot := false
+		for _, tk := range w.TopTalkers(nets[0].Name, 10) {
+			if strings.Contains(tk.Key, ">"+target) && tk.Bytes > 0 {
+				hot = true
+			}
+		}
+		if !hot {
+			return nil, fmt.Errorf("ARP flood toward %s missing from top talkers: %v",
+				target, w.TopTalkers(nets[0].Name, 10))
+		}
 	}
-	if err := w.ScrapeCheck(); err != nil {
+	if err := o.finish(w); err != nil {
 		return nil, err
 	}
 	return row, nil

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"wavnet/internal/scenario"
 	"wavnet/internal/sim"
 )
 
@@ -21,6 +22,11 @@ type Options struct {
 	Seed int64
 	// Quick selects reduced durations/sizes (default true).
 	Quick bool
+	// Observer, when set, is handed each built world after its
+	// measurement completes and before the final scrape check.
+	// cmd/wavnet-bench uses it to dump flow telemetry and alert state
+	// from the same worlds the experiments measured.
+	Observer func(*scenario.World)
 }
 
 func (o Options) withDefaults() Options {
@@ -28,6 +34,16 @@ func (o Options) withDefaults() Options {
 		o.Seed = 1
 	}
 	return o
+}
+
+// finish runs the caller's observer (if any) over the measured world,
+// then asserts the world-wide scrape is intact — every driver's final
+// step before returning its row.
+func (o Options) finish(w *scenario.World) error {
+	if o.Observer != nil {
+		o.Observer(w)
+	}
+	return w.ScrapeCheck()
 }
 
 // scaled returns q in quick mode, p otherwise.

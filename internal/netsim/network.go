@@ -41,6 +41,32 @@ type Network struct {
 	QueueDrops     uint64
 	PartitionDrops uint64
 	deliverHook    func(*Packet)
+	dropHook       func(*Host, *Packet, DropReason)
+}
+
+// DropReason classifies why the network dropped an in-flight packet.
+type DropReason uint8
+
+// Drop reasons, one per drop site class.
+const (
+	DropNoRoute   DropReason = iota // no gateway / unknown destination
+	DropQueue                       // access-link queue overflow
+	DropWANLoss                     // random WAN loss (LossRate)
+	DropPartition                   // severed site pair (fault injection)
+)
+
+// String names the reason.
+func (r DropReason) String() string {
+	switch r {
+	case DropNoRoute:
+		return "no_route"
+	case DropQueue:
+		return "queue_overflow"
+	case DropWANLoss:
+		return "wan_loss"
+	default:
+		return "partition"
+	}
 }
 
 // New creates an empty network on the given engine.
@@ -122,6 +148,24 @@ func (n *Network) HostByIP(ip IP) *Host { return n.byIP[ip] }
 // SetDeliverHook installs a tap invoked for every packet that reaches any
 // host, before local processing. Used by tests and tracing.
 func (n *Network) SetDeliverHook(fn func(*Packet)) { n.deliverHook = fn }
+
+// SetDropHook installs a tap invoked for every packet the network
+// drops, with the sending host and the reason, before the packet's
+// buffer is released (the payload is only valid for the duration of
+// the call). Scenario worlds use it to attribute wire losses back to
+// the WAVNet flows the packet carried.
+func (n *Network) SetDropHook(fn func(from *Host, pkt *Packet, reason DropReason)) {
+	n.dropHook = fn
+}
+
+// drop counts nothing itself: it runs the drop hook, then releases the
+// packet. Every drop site bumps its own stat and funnels through here.
+func (n *Network) drop(from *Host, pkt *Packet, reason DropReason) {
+	if n.dropHook != nil {
+		n.dropHook(from, pkt, reason)
+	}
+	pkt.release()
+}
 
 // NewPublicHost attaches a host with a routable IP directly to the WAN
 // through an access link of the given rate (bits/second in each
@@ -241,7 +285,7 @@ func (n *Network) route(from *Host, pkt *Packet) {
 			gw := from.lan.gw
 			if gw == nil {
 				n.NoRoute++
-				pkt.release()
+				n.drop(from, pkt, DropNoRoute)
 				return
 			}
 			n.lanTransit(from, gw, pkt)
@@ -253,7 +297,7 @@ func (n *Network) route(from *Host, pkt *Packet) {
 		return
 	}
 	n.NoRoute++
-	pkt.release()
+	n.drop(from, pkt, DropNoRoute)
 }
 
 // lanTransit carries a packet one hop across a LAN: serialize on the
@@ -262,11 +306,11 @@ func (n *Network) lanTransit(from, to *Host, pkt *Packet) {
 	if !from.lanUp.Send(pkt.Wire, func() {
 		if !to.lanDown.Send(pkt.Wire, func() { n.deliver(to, pkt) }) {
 			n.QueueDrops++
-			pkt.release()
+			n.drop(from, pkt, DropQueue)
 		}
 	}) {
 		n.QueueDrops++
-		pkt.release()
+		n.drop(from, pkt, DropQueue)
 	}
 }
 
@@ -276,19 +320,19 @@ func (n *Network) wanTransit(from *Host, pkt *Packet) {
 	dst, ok := n.byIP[pkt.Dst.IP]
 	if !ok {
 		n.NoRoute++
-		pkt.release()
+		n.drop(from, pkt, DropNoRoute)
 		return
 	}
 	if n.partitions[sitePair(from.site, dst.site)] {
 		n.PartitionDrops++
-		pkt.release()
+		n.drop(from, pkt, DropPartition)
 		return
 	}
 	if !from.up.Send(pkt.Wire, func() {
 		// Core propagation with optional jitter and loss.
 		if n.LossRate > 0 && n.eng.Rand().Float64() < n.LossRate {
 			n.LostWAN++
-			pkt.release()
+			n.drop(from, pkt, DropWANLoss)
 			return
 		}
 		lat := n.oneWay[from.site.Index][dst.site.Index]
@@ -299,12 +343,12 @@ func (n *Network) wanTransit(from *Host, pkt *Packet) {
 		n.eng.Schedule(lat, func() {
 			if !dst.down.Send(pkt.Wire, func() { n.deliver(dst, pkt) }) {
 				n.QueueDrops++
-				pkt.release()
+				n.drop(from, pkt, DropQueue)
 			}
 		})
 	}) {
 		n.QueueDrops++
-		pkt.release()
+		n.drop(from, pkt, DropQueue)
 	}
 }
 

@@ -141,6 +141,16 @@ func (r *Registry) Histogram(name string, labels Labels) *Histogram {
 	return r.lookup(name, labels, KindHistogram).hist
 }
 
+// AddHistogram folds an externally-maintained histogram into the named
+// labeled series bucket-wise, so scrapers can export distributions
+// subsystems keep privately (e.g. a host's frames-per-batch histogram).
+func (r *Registry) AddHistogram(name string, labels Labels, h *Histogram) {
+	if h == nil {
+		return
+	}
+	r.Histogram(name, labels).merge(h)
+}
+
 // AddCounterSet plugs a subsystem's flat CounterSet into the registry
 // under one label set: every counter of the set is added into the
 // like-named labeled counter (so scraping two sources onto the same

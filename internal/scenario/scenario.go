@@ -122,12 +122,29 @@ type World struct {
 	Rdv      *rendezvous.Server // primary broker (Brokers[0])
 	Machines []*Machine
 	byKey    map[string]*Machine
+	// machineOf attributes substrate hosts (each machine's PC and its
+	// site gateway) back to the machine, so the network's drop hook can
+	// charge wire losses to the WAVNet flows the lost packet carried —
+	// WAN drops happen at the gateway, after NAT rewrote the source.
+	machineOf map[*netsim.Host]*Machine
 
 	// Obs is the world's span tracer: every host, broker, VM and the
 	// VPC reconciler record their multi-step control flows (tunnel
 	// punches, re-home elections, applies, migrations) into it, so
 	// chaos tests assert on timelines rather than terminal counters.
 	Obs *obs.Trace
+
+	// FlowLog receives the closed flow records of every WAVNet host the
+	// world creates (idle evictions and Leave/DrainFlows drains).
+	// FlowScrape folds it into labeled series; TopTalkers ranks it.
+	FlowLog *obs.FlowLog
+
+	// Alerts is the world's rule-driven alerting engine: every Scrape
+	// feeds it the fresh snapshot, advancing each rule's pending →
+	// firing → resolved lifecycle and recording firing windows as
+	// "alert.<name>" spans on Obs. Built with DefaultAlertRules; add
+	// scenario-specific rules before traffic starts.
+	Alerts *obs.AlertEngine
 
 	// HostCfg is the template config for WAVNet hosts the world creates
 	// (joinHosts, ResolveHost); per-machine attributes override Attrs.
@@ -172,6 +189,7 @@ func Build(seed int64, specs []Spec, overrides map[[2]string]sim.Duration) (*Wor
 	w := &World{
 		Eng:          sim.NewEngine(seed),
 		byKey:        make(map[string]*Machine),
+		machineOf:    make(map[*netsim.Host]*Machine),
 		brokerByName: make(map[string]*rendezvous.Server),
 		brokerSites:  make(map[string]*brokerSite),
 		deadBrokers:  make(map[string]bool),
@@ -182,6 +200,19 @@ func Build(seed int64, specs []Spec, overrides map[[2]string]sim.Duration) (*Wor
 	w.Net = netsim.New(w.Eng)
 	w.Hub = w.Net.NewSite("hub")
 	w.Obs = obs.NewTrace(w.Eng, 0)
+	w.FlowLog = obs.NewFlowLog(0)
+	w.Alerts = obs.NewAlertEngine(w.Obs, DefaultAlertRules()...)
+	// Attribute substrate drops back to the overlay: a lost packet that
+	// carried an encapsulated frame (or a batch of them) charges each
+	// frame's flow on the machine that sent it. The hook runs on the sim
+	// event loop, so the flow table's single-writer invariant holds.
+	w.Net.SetDropHook(func(from *netsim.Host, pkt *netsim.Packet, reason netsim.DropReason) {
+		m := w.machineOf[from]
+		if m == nil || m.WAV == nil {
+			return
+		}
+		m.WAV.AccountWireDrop(pkt.Payload, flowDropReason(reason))
+	})
 
 	rdvCfg := rendezvous.Config{Name: PrimaryBroker, Tracer: w.Obs}
 	rdvHost := w.Net.NewPublicHost("rdv", w.Hub, netsim.MustParseIP("50.0.0.1"), 1e9, 100*time.Microsecond)
@@ -229,6 +260,8 @@ func Build(seed int64, specs []Spec, overrides map[[2]string]sim.Duration) (*Wor
 		m.Phys = lan.NewHost("pc-"+sp.Key, netsim.MustParseIP("192.168.0.2"))
 		w.Machines = append(w.Machines, m)
 		w.byKey[sp.Key] = m
+		w.machineOf[m.Phys] = m
+		w.machineOf[gw] = m
 	}
 	return w, nil
 }
@@ -633,6 +666,9 @@ func (w *World) hostConfig(m *Machine) core.Config {
 	cfg.Attrs = m.Spec.Attrs
 	if cfg.Tracer == nil {
 		cfg.Tracer = w.Obs
+	}
+	if cfg.FlowLog == nil {
+		cfg.FlowLog = w.FlowLog
 	}
 	return cfg
 }
@@ -1049,15 +1085,10 @@ func (w *World) Scrape() *obs.Registry {
 		if m.WAV == nil {
 			continue
 		}
-		net, _ := m.WAV.Network()
-		l := obs.Labels{Host: m.Key, Net: net, Broker: w.HomeBroker(m.Key)}
-		if net != "" && w.vpcMgr != nil {
-			if n, ok := w.vpcMgr.Get(net); ok {
-				l.Tenant = n.Tenant
-			}
-		}
+		l := w.machineLabels(m)
 		r.AddCounterSet(l, m.WAV.VPCCounters())
 		r.Gauge("tunnels", l).Set(float64(len(m.WAV.Tunnels())))
+		r.AddHistogram("batch_frames", l, m.WAV.BatchSizes())
 	}
 	for _, s := range w.Brokers {
 		name := w.brokerName(s)
@@ -1072,7 +1103,37 @@ func (w *World) Scrape() *obs.Registry {
 	if w.vpcMgr != nil {
 		w.vpcMgr.ScrapeInto(r)
 	}
+	// Substrate delivery and loss totals, unlabeled (the wire is shared
+	// infrastructure, not owned by any tenant).
+	r.Counter("net.delivered", obs.Labels{}).Set(w.Net.Delivered)
+	r.Counter("net.lost_wan", obs.Labels{}).Set(w.Net.LostWAN)
+	r.Counter("net.no_route", obs.Labels{}).Set(w.Net.NoRoute)
+	r.Counter("net.queue_drops", obs.Labels{}).Set(w.Net.QueueDrops)
+	r.Counter("net.partition_drops", obs.Labels{}).Set(w.Net.PartitionDrops)
+	// Every scrape advances the alert rules: Eval retains the snapshot
+	// as the next rate baseline (each Scrape builds a fresh registry, so
+	// handing it over is safe), then the engine's own lifecycle counters
+	// ride along in the same snapshot.
+	w.Alerts.Eval(w.Eng.Now(), r)
+	w.Alerts.ScrapeInto(r)
 	return r
+}
+
+// machineLabels builds the label set a machine's series are filed
+// under: {tenant, net, broker, host}, with the tenant resolved through
+// the VPC manager when the machine is scoped to a network.
+func (w *World) machineLabels(m *Machine) obs.Labels {
+	net := ""
+	if m.WAV != nil {
+		net, _ = m.WAV.Network()
+	}
+	l := obs.Labels{Host: m.Key, Net: net, Broker: w.HomeBroker(m.Key)}
+	if net != "" && w.vpcMgr != nil {
+		if n, ok := w.vpcMgr.Get(net); ok {
+			l.Tenant = n.Tenant
+		}
+	}
+	return l
 }
 
 // ScrapeCheck asserts the scrape is non-empty — every experiment driver
